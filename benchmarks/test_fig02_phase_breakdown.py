@@ -1,0 +1,62 @@
+"""Figure 2 — time breakdown of the reorder / symbolic / numeric phases.
+
+The paper measures SuperLU on one CPU core over ten matrices and finds
+the numeric phase takes ~97% of the time on average.  Two views are
+reported here:
+
+* *operation counts* — graph edge operations (reorder), predicted
+  structure entries (symbolic) and flops (numeric).  This is the
+  machine-independent quantity behind the paper's 97% and the one the
+  bench asserts on.
+* *measured wall seconds* of this Python pipeline — recorded for
+  completeness; interpreter constant factors inflate the symbolic share
+  relative to compiled SuperLU (EXPERIMENTS.md notes the deviation).
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.matrices import SCALE_OUT_NAMES, SCALE_UP_NAMES
+
+ALL_TEN = SCALE_UP_NAMES + SCALE_OUT_NAMES
+
+
+def test_fig02_phase_breakdown(runs, emit, benchmark):
+    rows = []
+    numeric_shares = []
+    for name in ALL_TEN:
+        a, run = runs(name, "superlu")
+        reorder_ops = a.nnz                       # graph edges visited
+        symbolic_ops = run.fill_nnz               # structure entries built
+        numeric_ops = run.schedule.total_flops    # flops executed
+        total = reorder_ops + symbolic_ops + numeric_ops
+        share = numeric_ops / total
+        numeric_shares.append(share)
+        wall = run.phase_seconds
+        rows.append([
+            name, reorder_ops, symbolic_ops, numeric_ops,
+            f"{share:.1%}",
+            round(wall["reorder"], 3), round(wall["symbolic"], 3),
+            round(wall["numeric"], 3),
+        ])
+    mean_share = float(np.mean(numeric_shares))
+    rows.append(["MEAN", "", "", "", f"{mean_share:.1%}", "", "", ""])
+    emit("fig02_phase_breakdown", format_table(
+        ["matrix", "reorder ops", "symbolic ops", "numeric flops",
+         "numeric share", "wall reorder (s)", "wall symbolic (s)",
+         "wall numeric (s)"],
+        rows,
+        title="Figure 2 — phase breakdown (paper: numeric ≈ 97%)",
+    ))
+    # the paper's claim: the numeric phase dominates, ≈97% on average
+    assert all(s > 0.9 for s in numeric_shares)
+    assert mean_share > 0.95
+
+    # time one full numeric phase as the benchmark payload
+    from repro.matrices import paper_matrix
+    from repro.solvers import SuperLUSolver
+
+    a = paper_matrix("para-8", scale=0.5)
+    benchmark.pedantic(
+        lambda: SuperLUSolver(a, scheduler="serial").factorize(),
+        rounds=1, iterations=1)

@@ -1,0 +1,69 @@
+"""Figure 11 — numeric-phase time breakdown (kernel vs scheduling).
+
+The paper splits the numeric time of both solvers, without and with the
+Trojan Horse, into kernel execution and everything else: kernel time
+shrinks 15.02× (SuperLU) / 2.92× (PanguLU) while the *kernel share* of
+total time stays roughly unchanged — i.e. the strategy does not trade
+kernel time for scheduling overhead.
+"""
+
+from repro.analysis import format_table, geomean, kernel_share
+from repro.gpusim import RTX5090
+from repro.matrices import SCALE_UP_NAMES
+from repro.solvers import resimulate, scale_stats
+
+WORK_SCALE = 512.0  # per-task work extrapolated to paper tile sizes
+
+
+def test_fig11_time_breakdown(runs, emit, benchmark):
+    rows = []
+    kernel_speedups = {"superlu": [], "pangulu": []}
+    share_gaps_at_scale = []
+    for solver in ("superlu", "pangulu"):
+        for name in SCALE_UP_NAMES:
+            _, run = runs(name, solver)
+            base = kernel_share(resimulate(run, "serial", RTX5090))
+            trojan = kernel_share(resimulate(
+                run, "trojan", RTX5090, merge_schur=solver == "superlu"))
+            kernel_speedups[solver].append(
+                base["kernel_s"] / trojan["kernel_s"])
+            # paper-scale work: the regime where the "share unchanged"
+            # observation applies (tasks 512x heavier, DESIGN.md §3)
+            scaled = scale_stats(run.stats, WORK_SCALE)
+            base_ps = kernel_share(
+                resimulate(run, "serial", RTX5090, stats=scaled))
+            trojan_ps = kernel_share(
+                resimulate(run, "trojan", RTX5090, stats=scaled,
+                           merge_schur=solver == "superlu"))
+            share_gaps_at_scale.append(
+                abs(base_ps["kernel_share"] - trojan_ps["kernel_share"]))
+            for label, s, s_ps in (("w/o TH", base, base_ps),
+                                   ("w/ TH", trojan, trojan_ps)):
+                rows.append([
+                    solver, name, label, s["kernel_s"] * 1e3,
+                    s["sched_s"] * 1e3, f"{s['kernel_share']:.0%}",
+                    f"{s_ps['kernel_share']:.0%}",
+                ])
+    emit("fig11_time_breakdown", format_table(
+        ["solver", "matrix", "variant", "kernel (ms)", "scheduling (ms)",
+         "kernel share", "share @ paper-scale work"],
+        rows,
+        title="Figure 11 — numeric time breakdown (paper: kernel time "
+              "-15.02x/-2.92x, kernel share roughly unchanged)",
+    ))
+
+    g_slu = geomean(kernel_speedups["superlu"])
+    g_plu = geomean(kernel_speedups["pangulu"])
+    assert g_slu > g_plu > 1.0
+    # the paper's share-invariance claim, checked in the regime it was
+    # measured in (compute-dominated tasks): shares stay close on
+    # average; the small banded analogue (para-8) remains partly
+    # launch-bound even at extrapolated work (EXPERIMENTS.md)
+    import numpy as np
+
+    assert float(np.mean(share_gaps_at_scale)) < 0.15
+    assert all(gap < 0.35 for gap in share_gaps_at_scale)
+
+    _, run = runs("Lin", "superlu")
+    benchmark.pedantic(lambda: resimulate(run, "trojan", RTX5090),
+                       rounds=1, iterations=1)

@@ -1,0 +1,79 @@
+"""Table 7 — GPU solvers (without / with Trojan Horse) vs modern CPUs.
+
+Six large matrices on an H100 vs a 32-core Xeon 6462C: the paper's
+narrative result is that CPU packages (SuperLU_DIST CPU, MUMPS) beat the
+pre-Trojan-Horse GPU paths, and only with Trojan Horse do the GPU solvers
+match or surpass their CPU counterparts.
+
+This comparison lives in the compute-dominated regime (multi-Tflop
+factorisations).  The analogues' per-task work is extrapolated to paper
+scale with the documented ×512 factor (tile 512 vs 64; DESIGN.md §3)
+before replaying schedules — DAGs, task counts and batch composition stay
+real.
+"""
+
+from repro.analysis import format_table
+from repro.cluster import H100_CLUSTER
+from repro.gpusim import XEON_6462C
+from repro.matrices import SCALE_OUT_NAMES
+from repro.solvers import cpu_makespan, resimulate, scale_stats
+from repro.solvers.cpu import CPU_PROFILES
+
+WORK_SCALE = 512.0  # (512/64)^3 per-task flop extrapolation
+
+
+def test_tab07_cpu_vs_gpu(runs, emit, benchmark):
+    gpu = H100_CLUSTER.gpu
+    rows = []
+    per_matrix = {}
+    for name in SCALE_OUT_NAMES:
+        entry = {}
+        for substrate in ("superlu", "pangulu"):
+            _, run = runs(name, substrate)
+            scaled = scale_stats(run.stats, WORK_SCALE)
+            base = resimulate(run, "serial", gpu, stats=scaled)
+            trojan = resimulate(run, "trojan", gpu, stats=scaled,
+                                merge_schur=substrate == "superlu")
+            entry[f"{substrate}_gpu"] = base.total_time
+            entry[f"{substrate}_th"] = trojan.total_time
+            if substrate == "superlu":
+                flops = base.total_flops
+                entry["superlu_cpu"] = cpu_makespan(
+                    run.dag, scaled, XEON_6462C,
+                    CPU_PROFILES["superlu_cpu"][1])
+                entry["mumps_cpu"] = cpu_makespan(
+                    run.dag, scaled, XEON_6462C, CPU_PROFILES["mumps"][1])
+        per_matrix[name] = entry
+        rows.append([
+            name,
+            entry["superlu_gpu"] * 1e3, entry["pangulu_gpu"] * 1e3,
+            entry["superlu_cpu"] * 1e3, entry["mumps_cpu"] * 1e3,
+            entry["superlu_th"] * 1e3, entry["pangulu_th"] * 1e3,
+        ])
+    emit("tab07_cpu_vs_gpu", format_table(
+        ["matrix", "SuperLU GPU w/o TH (ms)", "PanguLU GPU w/o TH (ms)",
+         "SuperLU CPU (ms)", "MUMPS CPU (ms)", "SuperLU GPU w/ TH (ms)",
+         "PanguLU GPU w/ TH (ms)"],
+        rows,
+        title="Table 7 — H100 vs Xeon 6462C, per-task work extrapolated "
+              "x512 (paper: CPUs beat baseline GPU paths; Trojan Horse "
+              "GPU matches or surpasses CPUs)",
+    ))
+
+    for name, e in per_matrix.items():
+        # CPUs beat the launch-bound SuperLU GPU baseline everywhere
+        assert e["superlu_cpu"] < e["superlu_gpu"], name
+        assert e["mumps_cpu"] < e["superlu_gpu"], name
+        # with Trojan Horse the best GPU path beats the best CPU path
+        best_cpu = min(e["superlu_cpu"], e["mumps_cpu"])
+        best_th = min(e["superlu_th"], e["pangulu_th"])
+        assert best_th < best_cpu, name
+        # and each solver improves with Trojan Horse
+        assert e["superlu_th"] < e["superlu_gpu"], name
+        assert e["pangulu_th"] < e["pangulu_gpu"], name
+
+    _, run = runs("cage13", "pangulu")
+    scaled = scale_stats(run.stats, WORK_SCALE)
+    benchmark.pedantic(
+        lambda: resimulate(run, "trojan", gpu, stats=scaled),
+        rounds=3, iterations=1)

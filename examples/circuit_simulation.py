@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Circuit-simulation workload: one factorisation, many transient solves.
+
+SPICE-style transient analysis factorises the circuit matrix once and
+back-substitutes at every time step.  Circuit matrices are exactly the
+tiny-supernode regime where SuperLU's per-task kernel launches drown the
+GPU (paper §3.5.1) — the Trojan Horse collapses tens of thousands of
+launches into a few hundred batches.
+
+Run:  python examples/circuit_simulation.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.gpusim import RTX5090
+from repro.matrices import circuit_like
+from repro.solvers import SuperLUSolver, resimulate
+from repro.sparse import matvec
+
+
+def transient_rhs(n: int, steps: int, rng) -> np.ndarray:
+    """A toy source waveform: per-step right-hand sides."""
+    t = np.linspace(0.0, 1.0, steps)
+    base = rng.standard_normal(n)
+    return base[None, :] * np.sin(2 * np.pi * 5 * t)[:, None]
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    circuit = circuit_like(600, avg_degree=4.0, seed=71)
+    print(f"circuit matrix: n={circuit.nrows}, nnz={circuit.nnz}")
+
+    # numeric factorisation happens once; schedules are then replayed on
+    # the recorded per-task stats — the library's fast path for studies
+    base = SuperLUSolver(circuit, scheduler="serial", gpu=RTX5090).factorize()
+    trojan = resimulate(base, "trojan", RTX5090)
+
+    rows = [
+        ["SuperLU (baseline)", base.schedule.kernel_count,
+         base.schedule.total_time * 1e3, base.schedule.gflops],
+        ["SuperLU + Trojan Horse", trojan.kernel_count,
+         trojan.total_time * 1e3, trojan.gflops],
+    ]
+    print(format_table(
+        ["solver", "kernel launches", "numeric time (ms)", "GFLOPS"],
+        rows, title=f"factorisation on {RTX5090.name}"))
+    print(f"kernel-count rate: "
+          f"{trojan.kernel_count / base.schedule.kernel_count:.2%}  "
+          f"(paper Table 5 reports ~1% for SuperLU_DIST)")
+    print(f"numeric speedup:   "
+          f"{base.schedule.total_time / trojan.total_time:.1f}x\n")
+
+    # transient sweep: factor once, solve every step
+    steps = 25
+    rhs = transient_rhs(circuit.nrows, steps, rng)
+    worst = 0.0
+    for k in range(steps):
+        x = base.solve(rhs[k])
+        r = np.linalg.norm(matvec(circuit, x) - rhs[k])
+        denom = np.linalg.norm(rhs[k])
+        if denom > 0:
+            worst = max(worst, r / denom)
+    print(f"transient analysis: {steps} time steps solved, "
+          f"worst relative residual = {worst:.2e}")
+
+    # Newton iterations re-stamp device values without changing the
+    # structure: the refactorisation fast path skips ordering + symbolic
+    solver = SuperLUSolver(circuit, scheduler="trojan", gpu=RTX5090)
+    solver.factorize()
+    worst = 0.0
+    for it in range(3):
+        updated = circuit.copy()
+        rows = np.repeat(np.arange(circuit.nrows), circuit.row_lengths())
+        off = rows != circuit.indices
+        updated.data[off] *= 1.0 + 0.05 * rng.standard_normal(int(off.sum()))
+        offsum = np.bincount(rows[off], weights=np.abs(updated.data[off]),
+                             minlength=circuit.nrows)
+        updated.data[~off] = 2.0 * offsum[rows[~off]] + 1.0
+        result = solver.refactorize(updated)
+        b = rng.standard_normal(circuit.nrows)
+        worst = max(worst, result.residual(updated, b, result.solve(b)))
+    print(f"3 Newton refactorisations (values only, structure reused): "
+          f"worst residual = {worst:.2e}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: factorise and solve a sparse system, with and without the
+Trojan Horse.
+
+Builds a 2-D Poisson system, runs the PanguLU-style substrate under its
+baseline scheduler and under the Trojan Horse aggregate-and-batch
+strategy, verifies both produce the same (correct) answer, and prints the
+simulated-GPU comparison.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.gpusim import RTX5090
+from repro.matrices import poisson2d
+from repro.solvers import PanguLUSolver
+from repro.sparse import matvec
+
+
+def main() -> None:
+    # a 1024-unknown model problem (32x32 grid Laplacian)
+    a = poisson2d(32)
+    rng = np.random.default_rng(0)
+    x_true = rng.standard_normal(a.nrows)
+    b = matvec(a, x_true)
+
+    rows = []
+    solutions = {}
+    for scheduler in ("serial", "trojan"):
+        solver = PanguLUSolver(a, block_size=64, scheduler=scheduler,
+                               gpu=RTX5090)
+        result = solver.factorize()
+        x = result.solve(b)
+        solutions[scheduler] = x
+        s = result.schedule
+        rows.append([
+            scheduler,
+            s.task_count,
+            s.kernel_count,
+            round(s.mean_batch_size, 1),
+            s.total_time * 1e3,
+            s.gflops,
+            result.residual(a, b, x),
+        ])
+
+    print(format_table(
+        ["scheduler", "tasks", "kernel launches", "tasks/launch",
+         "sim time (ms)", "GFLOPS", "residual"],
+        rows,
+        title=f"PanguLU substrate on {RTX5090.name}, n={a.nrows}, "
+              f"nnz={a.nnz}",
+    ))
+    speedup = rows[0][4] / rows[1][4]
+    print(f"\nTrojan Horse speedup: {speedup:.2f}x "
+          f"(identical factors: "
+          f"{np.allclose(solutions['serial'], solutions['trojan'])})")
+
+
+if __name__ == "__main__":
+    main()

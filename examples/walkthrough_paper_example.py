@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Walkthrough of the paper's worked example (§2.3, Figure 4).
+
+A 6×6 matrix organised as 3×3 blocks produces exactly 14 tasks.  This
+script builds the example, prints the task list and dependency structure,
+shows the Trojan Horse batches (heterogeneous types, atomic 9S0/9S1
+pairing) and the Executor's CUDA-block→task mapping array of Figure 7.
+
+Run:  python examples/walkthrough_paper_example.py
+"""
+
+import numpy as np
+
+from repro.core import BlockTaskMapping, build_block_dag, make_scheduler
+from repro.core.executor import EstimateBackend
+from repro.gpusim import GPUCostModel, RTX5090
+from repro.matrices import make_diagonally_dominant
+from repro.sparse import CSRMatrix, uniform_partition
+from repro.symbolic import block_fill
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    a = make_diagonally_dominant(
+        CSRMatrix.from_dense(rng.standard_normal((6, 6))), 2.0)
+    part = uniform_partition(6, 2)
+    dag = build_block_dag(block_fill(a, part), part, sparse_tiles=True)
+
+    print(f"tasks: {dag.n_tasks} (paper: 14)")
+    print(f"by type: {dag.counts_by_type()}\n")
+
+    print("task list (id: TYPE k=<step> tile=(i,j), preds):")
+    for t in dag.tasks:
+        print(f"  {t.tid:2d}: {t.type.name} k={t.k} tile=({t.i},{t.j}) "
+              f"preds={int(dag.pred_count[t.tid])}")
+
+    # the 9S0 / 9S1 pair: two Schur updates on the trailing block
+    pair = [t for t in dag.tasks
+            if t.type.name == "SSSSM" and (t.i, t.j) == (2, 2)]
+    print(f"\n'9S0'/'9S1' analogues: tasks {[t.tid for t in pair]} — both "
+          f"update tile (2,2) from steps {[t.k for t in pair]}; order-"
+          "independent, batched with atomic accumulation.\n")
+
+    model = GPUCostModel(RTX5090)
+    result = make_scheduler("trojan", dag, EstimateBackend(), model).run()
+    print(f"Trojan Horse executes the 14 tasks in "
+          f"{result.kernel_count} batches (baseline: 14 launches):")
+    for idx, batch in enumerate(result.batches):
+        names = [f"{dag.tasks[t].type.name}({dag.tasks[t].i},"
+                 f"{dag.tasks[t].j})" for t in batch.task_ids]
+        print(f"  batch {idx + 1}: {', '.join(names)}")
+
+    # Figure 7: the block→task mapping array of the largest batch
+    biggest = max(result.batches, key=lambda b: b.n_tasks)
+    tasks = [dag.tasks[t] for t in biggest.task_ids]
+    mapping = BlockTaskMapping.build(tasks)
+    print(f"\nExecutor mapping for the widest batch "
+          f"({biggest.n_tasks} tasks, {mapping.total_blocks} CUDA blocks):")
+    print(f"  start indices: {mapping.starts.tolist()}")
+    assignment = [mapping.task_of_block(b)
+                  for b in range(mapping.total_blocks)]
+    print(f"  block→task:    {assignment}")
+
+
+if __name__ == "__main__":
+    main()

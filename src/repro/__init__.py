@@ -1,0 +1,22 @@
+"""Trojan Horse reproduction: aggregate-and-batch scheduling for sparse
+direct solvers on (simulated) GPU clusters.
+
+The package reproduces Li et al., *Trojan Horse: Aggregate-and-Batch for
+Scaling Up Sparse Direct Solvers on GPU Clusters* (PPoPP '26), end to end
+in pure Python: sparse LU substrates (SuperLU_DIST-like supernodal and
+PanguLU-like sparse-block solvers), the Trojan Horse scheduling layer
+(Prioritizer / Container / Collector / Executor), a GPU occupancy +
+roofline performance model, and a discrete-event GPU-cluster simulator.
+
+Quickstart::
+
+    import numpy as np
+    from repro import matrices, solvers
+
+    A = matrices.poisson2d(24)                  # a 576x576 system
+    solver = solvers.PanguLUSolver(A, scheduler="trojan")
+    result = solver.factorize()
+    x = solver.solve(np.ones(A.nrows))
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,39 @@
+"""Experiment analysis and reporting helpers.
+
+Everything the benchmark harness needs to turn schedule records into the
+paper's tables and figures: geometric-mean speedups (Figure 10), binned
+GFLOPS timelines (Figure 8), kernel/scheduling time breakdowns
+(Figure 11), phase breakdowns (Figure 2) and plain-text table rendering.
+"""
+
+from repro.analysis.speedup import geomean, speedup_summary
+from repro.analysis.timeline import binned_gflops_timeline
+from repro.analysis.breakdown import kernel_share, phase_shares
+from repro.analysis.report import format_table
+from repro.analysis.trace import (
+    write_trace,
+    schedule_trace_events,
+    distributed_trace_events,
+)
+from repro.analysis.numerics import (
+    pivot_growth,
+    dominance_margin,
+    condition_estimate,
+    backward_error,
+)
+
+__all__ = [
+    "write_trace",
+    "schedule_trace_events",
+    "distributed_trace_events",
+    "pivot_growth",
+    "dominance_margin",
+    "condition_estimate",
+    "backward_error",
+    "geomean",
+    "speedup_summary",
+    "binned_gflops_timeline",
+    "kernel_share",
+    "phase_shares",
+    "format_table",
+]

@@ -1,0 +1,36 @@
+"""Time breakdowns: phases (Figure 2) and kernel vs scheduling (Figure 11)."""
+
+from __future__ import annotations
+
+from repro.core.scheduler import ScheduleResult
+
+
+def kernel_share(result: ScheduleResult) -> dict:
+    """Split total numeric time into kernel vs scheduling shares.
+
+    Figure 11's observation is that Trojan Horse leaves the *kernel share*
+    roughly unchanged while shrinking absolute kernel time — this helper
+    produces both numbers.
+    """
+    total = result.total_time
+    return {
+        "kernel_s": result.kernel_time,
+        "sched_s": result.sched_overhead,
+        "total_s": total,
+        "kernel_share": result.kernel_time / total if total else 0.0,
+    }
+
+
+def phase_shares(phase_seconds: dict[str, float]) -> dict[str, float]:
+    """Normalise {reorder, symbolic, numeric} wall times to shares of 1.
+
+    The Figure-2 motivation: numeric dominates (97% on average in the
+    paper's CPU measurement).
+    """
+    expected = {"reorder", "symbolic", "numeric"}
+    if set(phase_seconds) != expected:
+        raise ValueError(f"phase dict must have keys {sorted(expected)}")
+    total = sum(phase_seconds.values())
+    if total <= 0:
+        raise ValueError("phases have no measured time")
+    return {k: v / total for k, v in phase_seconds.items()}

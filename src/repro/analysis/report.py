@@ -1,0 +1,47 @@
+"""Plain-text table rendering for benchmark output.
+
+The benchmark harness prints the same rows the paper's tables report;
+this keeps the rendering in one place so every bench looks uniform.
+"""
+
+from __future__ import annotations
+
+
+def _fmt(value, ndigits: int = 3) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.2e}"
+        return f"{value:.{ndigits}g}"
+    return str(value)
+
+
+def format_table(headers: list[str], rows: list[list], title: str = "") -> str:
+    """Render an aligned monospace table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Row cell values (str/int/float; floats are compacted).
+    title:
+        Optional heading line.
+    """
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for k, c in enumerate(row):
+            widths[k] = max(widths[k], len(c))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

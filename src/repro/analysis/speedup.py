@@ -1,0 +1,42 @@
+"""Speedup statistics (Figure 10 reports geometric means)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def geomean(values) -> float:
+    """Geometric mean of positive values (the paper's average metric)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("geomean of an empty sequence")
+    if np.any(arr <= 0):
+        raise ValueError("geomean requires positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def speedup_summary(baseline_times, enhanced_times) -> dict:
+    """Per-matrix speedups plus the summary the paper headlines.
+
+    Parameters
+    ----------
+    baseline_times, enhanced_times:
+        Equal-length sequences of times for the same workloads.
+
+    Returns
+    -------
+    dict with ``speedups`` (array), ``geomean``, ``max``, ``min`` and the
+    count of regressions (speedup < 1).
+    """
+    base = np.asarray(list(baseline_times), dtype=np.float64)
+    enh = np.asarray(list(enhanced_times), dtype=np.float64)
+    if base.shape != enh.shape:
+        raise ValueError("mismatched result sequences")
+    speedups = base / enh
+    return {
+        "speedups": speedups,
+        "geomean": geomean(speedups),
+        "max": float(speedups.max()),
+        "min": float(speedups.min()),
+        "regressions": int(np.count_nonzero(speedups < 1.0)),
+    }

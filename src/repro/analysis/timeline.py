@@ -1,0 +1,44 @@
+"""GFLOPS-over-time series (Figure 8)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.scheduler import ScheduleResult
+
+
+def binned_gflops_timeline(result: ScheduleResult,
+                           n_bins: int = 40) -> tuple[np.ndarray, np.ndarray]:
+    """Bin the kernel timeline into equal time slices.
+
+    Each launch's flops are attributed to the bins its [start, end)
+    interval overlaps, pro rata — giving the throughput curve the paper
+    plots (y: GFLOPS, x: time).
+
+    Returns
+    -------
+    (bin_centers_seconds, gflops_per_bin)
+    """
+    if not result.batches:
+        raise ValueError("empty schedule has no timeline")
+    t_end = max(b.t_end for b in result.batches)
+    if t_end <= 0:
+        raise ValueError("degenerate timeline")
+    edges = np.linspace(0.0, t_end, n_bins + 1)
+    width = edges[1] - edges[0]
+    flops_per_bin = np.zeros(n_bins)
+    for b in result.batches:
+        lo = np.searchsorted(edges, b.t_start, side="right") - 1
+        hi = np.searchsorted(edges, b.t_end, side="left")
+        lo = max(0, min(lo, n_bins - 1))
+        hi = max(1, min(hi, n_bins))
+        dur = b.t_end - b.t_start
+        if dur <= 0:
+            flops_per_bin[lo] += b.flops
+            continue
+        for k in range(lo, hi):
+            overlap = min(b.t_end, edges[k + 1]) - max(b.t_start, edges[k])
+            if overlap > 0:
+                flops_per_bin[k] += b.flops * (overlap / dur)
+    centers = (edges[:-1] + edges[1:]) / 2.0
+    return centers, flops_per_bin / width / 1e9

@@ -1,0 +1,75 @@
+"""Schedule trace export in Chrome-tracing (``chrome://tracing``) format.
+
+Converts a :class:`~repro.core.scheduler.ScheduleResult` or a
+:class:`~repro.cluster.distsim.DistributedResult` (with
+``record_timeline=True``) into the Trace Event JSON format, so schedules
+can be inspected in Chrome/Perfetto exactly like real GPU profiles — the
+tooling a systems engineer would reach for when debugging batch
+composition.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.cluster.distsim import DistributedResult
+from repro.core.scheduler import ScheduleResult
+
+
+def schedule_trace_events(result: ScheduleResult) -> list[dict]:
+    """Trace events for a single-device schedule (one GPU row)."""
+    events = []
+    for idx, b in enumerate(result.batches):
+        events.append({
+            "name": f"batch {idx} ({b.n_tasks} tasks)",
+            "cat": "kernel",
+            "ph": "X",
+            "ts": b.t_start * 1e6,
+            "dur": b.duration * 1e6,
+            "pid": 0,
+            "tid": 0,
+            "args": {
+                "tasks": b.n_tasks,
+                "cuda_blocks": b.cuda_blocks,
+                "flops": b.flops,
+                "types": {k: v for k, v in b.types.items() if v},
+            },
+        })
+    return events
+
+
+def distributed_trace_events(result: DistributedResult) -> list[dict]:
+    """Trace events for a distributed run (one row per process)."""
+    if result.timeline is None:
+        raise ValueError(
+            "distributed trace needs record_timeline=True on the simulator"
+        )
+    events = []
+    for rank, start, end, tids in result.timeline:
+        events.append({
+            "name": f"{len(tids)} task(s)",
+            "cat": "kernel",
+            "ph": "X",
+            "ts": start * 1e6,
+            "dur": (end - start) * 1e6,
+            "pid": 0,
+            "tid": rank,
+            "args": {"tasks": len(tids)},
+        })
+    return events
+
+
+def write_trace(path, result) -> None:
+    """Write a schedule or distributed result as a Chrome trace file."""
+    if isinstance(result, ScheduleResult):
+        events = schedule_trace_events(result)
+    elif isinstance(result, DistributedResult):
+        events = distributed_trace_events(result)
+    else:
+        raise TypeError(f"cannot trace a {type(result).__name__}")
+    payload = {"traceEvents": events, "displayTimeUnit": "ns"}
+    if hasattr(path, "write"):
+        json.dump(payload, path)
+        return
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh)

@@ -1,0 +1,209 @@
+"""Command-line interface: factor, solve and simulate from the shell.
+
+Examples::
+
+    python -m repro info
+    python -m repro factor --matrix cage12 --solver pangulu --scheduler trojan
+    python -m repro factor --mtx system.mtx --solver superlu --gpu a100 --solve
+    python -m repro scaleout --matrix cage13 --cluster h100 --policy trojan
+    python -m repro compare --matrix c-71 --solver superlu
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.cluster import DistributedSimulator, H100_CLUSTER, MI50_CLUSTER
+from repro.core.baselines import SCHEDULER_NAMES
+from repro.core.executor import ReplayBackend
+from repro.gpusim import GPU_PRESETS, RTX5090
+from repro.io import read_matrix_market
+from repro.matrices import PAPER_MATRICES, paper_matrix, suite_kinds
+from repro.ordering import ORDERING_METHODS
+from repro.solvers import (
+    CholeskySolver,
+    PanguLUSolver,
+    PaStiXSolver,
+    SuperLUSolver,
+    resimulate,
+)
+from repro.sparse import matvec
+
+CLUSTERS = {"h100": H100_CLUSTER, "mi50": MI50_CLUSTER}
+
+SOLVERS = {
+    "pangulu": PanguLUSolver,
+    "superlu": SuperLUSolver,
+    "pastix": PaStiXSolver,
+    "cholesky": CholeskySolver,
+}
+
+
+def _load_matrix(args):
+    if args.mtx:
+        return read_matrix_market(args.mtx)
+    if args.matrix:
+        return paper_matrix(args.matrix, scale=args.scale)
+    raise SystemExit("provide --matrix <paper-name> or --mtx <file>")
+
+
+def _make_solver(args, a):
+    cls = SOLVERS[args.solver]
+    kwargs = {"ordering": args.ordering, "gpu": GPU_PRESETS[args.gpu]}
+    if args.solver != "pastix":  # dmdas is PaStiX's native policy
+        kwargs["scheduler"] = args.scheduler
+    return cls(a, **kwargs)
+
+
+def cmd_info(args) -> int:
+    """List the available matrices, devices and policies."""
+    print(format_table(
+        ["paper matrix", "group", "analogue kind"],
+        [[n, i.group, i.kind] for n, i in sorted(PAPER_MATRICES.items())],
+        title="matrices (also: --mtx <MatrixMarket file>)"))
+    print()
+    print(format_table(
+        ["gpu key", "name", "SMs", "FP64 GFLOPS", "BW GB/s", "mem GB"],
+        [[k, g.name, g.sm_count, g.fp64_gflops, g.mem_bw_gbs, g.memory_gb]
+         for k, g in GPU_PRESETS.items()],
+        title="GPU models"))
+    print()
+    print(f"solvers:    {', '.join(sorted(SOLVERS))}")
+    print(f"schedulers: {', '.join(SCHEDULER_NAMES)} (+ dmdas for pastix)")
+    print(f"orderings:  {', '.join(ORDERING_METHODS)}")
+    print(f"clusters:   {', '.join(CLUSTERS)}")
+    print(f"suite:      200-matrix collection over {len(suite_kinds())} kinds")
+    return 0
+
+
+def cmd_factor(args) -> int:
+    """Factorise one matrix and report the schedule."""
+    a = _load_matrix(args)
+    solver = _make_solver(args, a)
+    result = solver.factorize()
+    s = result.schedule
+    print(format_table(
+        ["n", "nnz(A)", "nnz(L+U)", "tasks", "kernels", "tasks/kernel",
+         "sim time (ms)", "GFLOPS"],
+        [[a.nrows, a.nnz,
+          getattr(result, "fill_nnz", result.L.nnz),
+          s.task_count, s.kernel_count, round(s.mean_batch_size, 1),
+          s.total_time * 1e3, round(s.gflops, 2)]],
+        title=f"{args.solver} / {s.scheduler} on {s.device}"))
+    if args.solve:
+        rng = np.random.default_rng(0)
+        x_true = rng.standard_normal(a.nrows)
+        b = matvec(a, x_true)
+        x = result.solve(b)
+        err = np.linalg.norm(x - x_true) / np.linalg.norm(x_true)
+        print(f"solve check: relative error {err:.2e}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    """Compare all schedulers for one matrix on one GPU."""
+    a = _load_matrix(args)
+    cls = SOLVERS[args.solver]
+    if args.solver not in ("pangulu", "superlu"):
+        raise SystemExit("compare supports pangulu and superlu")
+    gpu = GPU_PRESETS[args.gpu]
+    run = cls(a, ordering=args.ordering, scheduler="serial",
+              gpu=gpu).factorize()
+    rows = []
+    for sched in SCHEDULER_NAMES:
+        r = resimulate(run, sched, gpu,
+                       merge_schur=args.solver == "superlu"
+                       and sched == "trojan")
+        rows.append([sched, r.kernel_count, round(r.mean_batch_size, 1),
+                     r.total_time * 1e3, round(r.gflops, 2)])
+    print(format_table(
+        ["scheduler", "kernels", "tasks/kernel", "time (ms)", "GFLOPS"],
+        rows, title=f"{args.solver} on {gpu.name}: scheduler comparison"))
+    return 0
+
+
+def cmd_scaleout(args) -> int:
+    """Strong-scaling simulation on a cluster."""
+    a = _load_matrix(args)
+    if args.solver not in ("pangulu", "superlu"):
+        raise SystemExit("scaleout supports pangulu and superlu")
+    cls = SOLVERS[args.solver]
+    run = cls(a, ordering=args.ordering, scheduler="serial").factorize()
+    backend = ReplayBackend(run.stats)
+    cluster = CLUSTERS[args.cluster]
+    rows = []
+    for g in (1, 2, 4, 8, 16):
+        if g > args.gpus:
+            break
+        res = DistributedSimulator(run.dag, backend, cluster, g,
+                                   args.policy).run()
+        rows.append([g, res.makespan * 1e3, round(res.gflops, 2),
+                     res.total_kernels, res.messages,
+                     round(res.load_balance, 3)])
+    print(format_table(
+        ["GPUs", "time (ms)", "GFLOPS", "kernels", "messages", "balance"],
+        rows,
+        title=f"{args.solver}/{args.policy} on {cluster.name}"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI."""
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Trojan Horse sparse-direct-solver reproduction",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    def common(sp):
+        sp.add_argument("--matrix", choices=sorted(PAPER_MATRICES),
+                        help="paper-matrix analogue name")
+        sp.add_argument("--mtx", help="MatrixMarket file to load instead")
+        sp.add_argument("--scale", type=float, default=1.0,
+                        help="analogue size multiplier")
+        sp.add_argument("--solver", default="pangulu",
+                        choices=sorted(SOLVERS))
+        sp.add_argument("--ordering", default="mindeg",
+                        choices=ORDERING_METHODS)
+        sp.add_argument("--gpu", default="rtx5090",
+                        choices=sorted(GPU_PRESETS))
+
+    sub.add_parser("info", help="list matrices, devices, policies")
+
+    f = sub.add_parser("factor", help="factorise and report the schedule")
+    common(f)
+    f.add_argument("--scheduler", default="trojan",
+                   choices=SCHEDULER_NAMES + ("dmdas",))
+    f.add_argument("--solve", action="store_true",
+                   help="verify with a random right-hand side")
+
+    c = sub.add_parser("compare", help="compare all schedulers")
+    common(c)
+
+    s = sub.add_parser("scaleout", help="cluster strong-scaling simulation")
+    common(s)
+    s.add_argument("--cluster", default="h100", choices=sorted(CLUSTERS))
+    s.add_argument("--policy", default="trojan",
+                   choices=("serial", "streams", "trojan"))
+    s.add_argument("--gpus", type=int, default=16)
+    return p
+
+
+def main(argv=None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "info": cmd_info,
+        "factor": cmd_factor,
+        "compare": cmd_compare,
+        "scaleout": cmd_scaleout,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,384 @@
+"""Discrete-event simulation of distributed numeric factorisation.
+
+One simulated process per GPU; tiles owned 2-D block-cyclically; an edge
+of the task DAG whose producer and consumer live on different ranks
+becomes a message (producer's output tile, latency+bandwidth cost).  Each
+process runs its own scheduler — the paper's integration point: baseline
+per-task execution, the four-stream ablation, or the full Trojan Horse
+Aggregate/Batch pipeline.
+
+Contention-free network, zero software overhead on message handling, and
+eager sends (a tile ships the moment its producer finishes) — the
+standard simplifications for strong-scaling studies, recorded in
+DESIGN.md §3.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.grid import ProcessGrid
+from repro.cluster.network import ClusterSpec
+from repro.core.collector import Collector
+from repro.core.container import Container
+from repro.core.dag import TaskDAG
+from repro.core.executor import ExecutionBackend, Executor
+from repro.core.prioritizer import Prioritizer
+from repro.core.task import TaskType
+from repro.gpusim.costmodel import GPUCostModel, KernelLaunch
+
+POLICIES = ("serial", "streams", "trojan", "dmdas")
+"""Per-process scheduling policies supported by the simulator."""
+
+
+@dataclass
+class DistributedResult:
+    """Outcome of one distributed factorisation simulation."""
+
+    cluster: str
+    policy: str
+    nprocs: int
+    makespan: float
+    total_tasks: int
+    total_kernels: int
+    total_flops: int
+    per_proc_kernels: list[int]
+    per_proc_busy: list[float]
+    messages: int
+    comm_bytes: int
+    timeline: list[tuple[int, float, float, list[int]]] | None = None
+
+    @property
+    def gflops(self) -> float:
+        """Aggregate cluster throughput."""
+        return (self.total_flops / self.makespan / 1e9
+                if self.makespan > 0 else 0.0)
+
+    @property
+    def load_balance(self) -> float:
+        """mean/max busy-time ratio (1.0 = perfectly balanced)."""
+        busy = np.asarray(self.per_proc_busy)
+        return float(busy.mean() / busy.max()) if busy.max() > 0 else 1.0
+
+    def summary(self) -> dict:
+        """Compact dict for benchmark tables."""
+        return {
+            "cluster": self.cluster,
+            "policy": self.policy,
+            "gpus": self.nprocs,
+            "time_s": self.makespan,
+            "gflops": self.gflops,
+            "kernels": self.total_kernels,
+            "messages": self.messages,
+            "comm_MB": self.comm_bytes / 1e6,
+            "balance": round(self.load_balance, 3),
+        }
+
+
+class _ProcState:
+    """Scheduler state of one simulated process."""
+
+    def __init__(self, rank: int, policy: str, dag: TaskDAG,
+                 model: GPUCostModel, backend: ExecutionBackend,
+                 cp: np.ndarray, n_streams: int = 4):
+        self.rank = rank
+        self.policy = policy
+        self.dag = dag
+        self.model = model
+        self.backend = backend
+        self.executor = Executor(model, backend)
+        self.kernels = 0
+        self.busy = 0.0
+        if policy == "trojan":
+            self.prio = Prioritizer(dag, cp)
+            self.container = Container()
+            self.collector = Collector(model.gpu)
+            self.busy_until = 0.0
+            # Algorithm 1 launches batches with GPU.AsyncExecutor: the CPU
+            # may prepare and enqueue the next batch while one executes
+            # (double buffering); the GPU itself runs batches in order
+            self.gpu_free = 0.0
+            self.inflight = 0
+        elif policy in ("serial", "dmdas"):
+            self.heap: list[tuple[int, int, int]] = []
+            self.cp = cp
+            self.busy_until = 0.0
+        elif policy == "streams":
+            self.heap = []
+            self.cp = cp
+            self.clocks = [0.0] * n_streams
+            self.device_clock = 0.0    # SM time shared across streams
+            self.dispatch_clock = 0.0  # CPU submission serialised
+        else:
+            raise ValueError(f"unknown policy {policy!r}")
+
+    # -- ready bookkeeping ------------------------------------------------
+    def add_ready(self, tid: int) -> None:
+        task = self.dag.tasks[tid]
+        if self.policy == "trojan":
+            self.prio.push_ready(tid)
+        elif self.policy == "dmdas":
+            heapq.heappush(self.heap, (-int(self.cp[tid]), task.k, tid))
+        else:
+            heapq.heappush(self.heap, (task.distance, task.k, tid))
+
+    def has_ready(self) -> bool:
+        if self.policy == "trojan":
+            return self.prio.has_ready or not self.container.is_empty
+        return bool(self.heap)
+
+    # -- launching --------------------------------------------------------
+    def launch(self, t: float) -> list[tuple[float, float, list[int], int]]:
+        """Start work at time ``t`` if the policy allows.
+
+        Returns a list of ``(start, end, task_ids, flops)`` launches.
+        """
+        if self.policy == "streams":
+            return self._launch_streams(t)
+        if self.policy == "trojan":
+            return self._launch_trojan(t)
+        if self.busy_until > t or not self.has_ready():
+            return []
+        tids = [heapq.heappop(self.heap)[2]]
+        record = self.executor.run_batch([self.dag.tasks[x] for x in tids], t)
+        self.busy_until = record.t_end
+        self.busy += record.duration
+        self.kernels += 1
+        return [(record.t_start, record.t_end, tids, record.flops)]
+
+    def _launch_trojan(self, t: float) -> list[tuple[float, float, list[int], int]]:
+        out = []
+        while self.inflight < 2 and self.has_ready():
+            tids = self._form_trojan_batch()
+            if self.inflight >= 1 and not self.collector.is_full:
+                # GPU busy with a batch already queued behind it: keep
+                # aggregating instead of enqueueing a partial batch —
+                # push the formed tasks back and wait for a completion
+                for tid in tids:
+                    self.prio.push_ready(tid)
+                break
+            start = max(t, self.gpu_free)
+            record = self.executor.run_batch(
+                [self.dag.tasks[x] for x in tids], start)
+            self.gpu_free = record.t_end
+            self.inflight += 1
+            self.busy += record.duration
+            self.kernels += 1
+            out.append((record.t_start, record.t_end, tids, record.flops))
+        return out
+
+    def on_done(self) -> None:
+        """A previously-enqueued batch finished (async-executor slot free)."""
+        if self.policy == "trojan":
+            self.inflight -= 1
+
+    def _form_trojan_batch(self) -> list[int]:
+        coll = self.collector
+        coll.reset()
+        prio, cont, dag = self.prio, self.container, self.dag
+        prio.begin_round()
+        while prio.has_ready:
+            tid = prio.pop_most_urgent()
+            task = dag.tasks[tid]
+            if prio.is_critical(tid):
+                if not coll.try_push(task):
+                    cont.push(task, urgent=True)
+                    for other in prio.drain():
+                        cont.push(dag.tasks[other])
+                    break
+            else:
+                cont.push(task)
+        while not coll.is_full and not cont.is_empty:
+            task = dag.tasks[cont.peek()]
+            if coll.try_push(task):
+                cont.pop()
+            else:
+                break
+        if coll.is_empty:
+            raise AssertionError("trojan process stalled with ready work")
+        return [task.tid for task in coll.tasks]
+
+    def _launch_streams(self, t: float) -> list[tuple[float, float, list[int], int]]:
+        out = []
+        while self.heap:
+            free = [s for s in range(len(self.clocks)) if self.clocks[s] <= t]
+            if not free:
+                break
+            s = free[0]
+            _, _, tid = heapq.heappop(self.heap)
+            task = self.dag.tasks[tid]
+            stats = self.backend.run_task(task, False)
+            launch = KernelLaunch()
+            launch.add_task(task.cuda_blocks, stats.flops, stats.bytes,
+                            task.shared_mem_bytes)
+            overhead = self.model.gpu.launch_overhead_us * 1e-6
+            dispatch = self.model.gpu.dispatch_serial_us * 1e-6
+            issue = max(t, self.dispatch_clock)
+            self.dispatch_clock = issue + dispatch
+            body = self.model.launch_time(launch) - overhead
+            start = max(issue + overhead, self.device_clock)
+            end = start + body
+            self.clocks[s] = end
+            self.device_clock = end
+            self.busy += end - t
+            self.kernels += 1
+            out.append((t, end, [tid], stats.flops))
+        return out
+
+    def next_wake(self, t: float) -> float | None:
+        """Earliest future time this process could start new work."""
+        if self.policy == "streams":
+            pending = [c for c in self.clocks if c > t]
+            return min(pending) if pending and self.heap else None
+        if self.policy == "trojan":
+            # async executor: launches happen on arrivals and batch
+            # completions; no timed wake needed
+            return None
+        if self.busy_until > t and self.has_ready():
+            return self.busy_until
+        return None
+
+
+class DistributedSimulator:
+    """Event-driven cluster-level factorisation simulation.
+
+    Parameters
+    ----------
+    dag:
+        Task DAG whose tasks carry tile metadata (``nnz`` sizes the
+        messages).
+    backend:
+        Shared execution backend (replay/estimate; numeric also works —
+        tasks execute exactly once across all processes).
+    cluster:
+        Hardware description (GPU + links).
+    nprocs:
+        Number of processes/GPUs.
+    policy:
+        Per-process scheduler (see :data:`POLICIES`).
+    grid:
+        Optional explicit :class:`ProcessGrid`.
+    """
+
+    def __init__(self, dag: TaskDAG, backend: ExecutionBackend,
+                 cluster: ClusterSpec, nprocs: int, policy: str = "serial",
+                 grid: ProcessGrid | None = None,
+                 record_timeline: bool = False,
+                 msg_scale: float = 1.0):
+        if policy not in POLICIES:
+            raise ValueError(f"unknown policy {policy!r}; choose from {POLICIES}")
+        if msg_scale <= 0:
+            raise ValueError("msg_scale must be positive")
+        self.dag = dag
+        self.backend = backend
+        self.cluster = cluster
+        self.nprocs = nprocs
+        self.policy = policy
+        self.grid = grid or ProcessGrid(nprocs)
+        self.record_timeline = record_timeline
+        #: message-size multiplier; work-extrapolated studies (Table 7 /
+        #: Figure 12 regimes) scale tile bytes quadratically in the linear
+        #: tile-scale factor (DESIGN.md §3)
+        self.msg_scale = msg_scale
+
+    def owner_of_task(self, tid: int) -> int:
+        """Rank executing a task = owner of its output tile."""
+        task = self.dag.tasks[tid]
+        return self.grid.owner(task.i, task.j)
+
+    def run(self) -> DistributedResult:
+        """Simulate the whole factorisation; returns cluster-level stats."""
+        dag = self.dag
+        model = GPUCostModel(self.cluster.gpu)
+        cp = dag.critical_path_lengths()
+        procs = [
+            _ProcState(r, self.policy, dag, model, self.backend, cp)
+            for r in range(self.nprocs)
+        ]
+        pred = dag.pred_count.copy()
+        arrival = np.zeros(dag.n_tasks)
+        events: list[tuple[float, int, str, int, object]] = []
+        seq = 0
+
+        def push_event(t: float, kind: str, rank: int, payload) -> None:
+            nonlocal seq
+            heapq.heappush(events, (t, seq, kind, rank, payload))
+            seq += 1
+
+        for tid in dag.initial_ready():
+            push_event(0.0, "ready", self.owner_of_task(tid), tid)
+
+        # at most one pending wake per process — without this, every
+        # arrival during a busy period schedules another wake at the same
+        # instant and the event loop degenerates to O(events × backlog)
+        wake_pending = [float("inf")] * self.nprocs
+
+        done_tasks = 0
+        messages = 0
+        comm_bytes = 0
+        makespan = 0.0
+        total_flops = 0
+        timeline = [] if self.record_timeline else None
+
+        def propagate(t_done: float, tids: list[int]) -> None:
+            nonlocal messages, comm_bytes
+            for tid in tids:
+                src = self.owner_of_task(tid)
+                out_bytes = int(8 * dag.tasks[tid].nnz * self.msg_scale)
+                for s in dag.successors[tid]:
+                    dst = self.owner_of_task(s)
+                    delay = self.cluster.message_time(src, dst, out_bytes)
+                    if src != dst:
+                        messages += 1
+                        comm_bytes += out_bytes
+                    arr = t_done + delay
+                    if arr > arrival[s]:
+                        arrival[s] = arr
+                    pred[s] -= 1
+                    if pred[s] == 0:
+                        push_event(arrival[s], "ready", dst, s)
+
+        while events:
+            t, _, kind, rank, payload = heapq.heappop(events)
+            proc = procs[rank]
+            if t >= wake_pending[rank]:
+                wake_pending[rank] = float("inf")
+            if kind == "ready":
+                proc.add_ready(int(payload))
+            elif kind == "done":
+                proc.on_done()
+                done_tasks += len(payload)
+                propagate(t, payload)
+                makespan = max(makespan, t)
+            # try to start work wherever this event may have freed/added it
+            for start, end, tids, flops in proc.launch(t):
+                total_flops += flops
+                if timeline is not None:
+                    timeline.append((rank, start, end, list(tids)))
+                push_event(end, "done", rank, tids)
+            wake = proc.next_wake(t)
+            if wake is not None and wake < wake_pending[rank]:
+                wake_pending[rank] = wake
+                push_event(wake, "wake", rank, None)
+
+        if done_tasks != dag.n_tasks:
+            raise AssertionError(
+                f"distributed sim finished {done_tasks}/{dag.n_tasks} tasks"
+            )
+        return DistributedResult(
+            cluster=self.cluster.name,
+            policy=self.policy,
+            nprocs=self.nprocs,
+            makespan=makespan,
+            total_tasks=dag.n_tasks,
+            total_kernels=sum(p.kernels for p in procs),
+            total_flops=total_flops,
+            per_proc_kernels=[p.kernels for p in procs],
+            per_proc_busy=[p.busy for p in procs],
+            messages=messages,
+            comm_bytes=comm_bytes,
+            timeline=timeline,
+        )

@@ -1,0 +1,55 @@
+"""2-D block-cyclic process grid (the distribution both solvers use)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def _best_grid(nprocs: int) -> tuple[int, int]:
+    """Most-square factorisation pr × pc = nprocs with pr ≤ pc."""
+    best = (1, nprocs)
+    for pr in range(1, int(nprocs ** 0.5) + 1):
+        if nprocs % pr == 0:
+            best = (pr, nprocs // pr)
+    return best
+
+
+@dataclass(frozen=True)
+class ProcessGrid:
+    """Process grid with 2-D block-cyclic tile ownership.
+
+    Tile (i, j) belongs to process ``(i mod pr) · pc + (j mod pc)`` — the
+    distribution SuperLU_DIST and PanguLU both employ (paper §2.2).
+
+    Parameters
+    ----------
+    nprocs:
+        Total processes (= GPUs).
+    pr, pc:
+        Optional explicit grid shape; defaults to the most-square
+        factorisation.
+    """
+
+    nprocs: int
+    pr: int = 0
+    pc: int = 0
+
+    def __post_init__(self):
+        if self.nprocs <= 0:
+            raise ValueError("need at least one process")
+        if self.pr == 0 or self.pc == 0:
+            pr, pc = _best_grid(self.nprocs)
+            object.__setattr__(self, "pr", pr)
+            object.__setattr__(self, "pc", pc)
+        if self.pr * self.pc != self.nprocs:
+            raise ValueError("pr × pc must equal nprocs")
+
+    def owner(self, i: int, j: int) -> int:
+        """Rank owning tile (i, j)."""
+        return (i % self.pr) * self.pc + (j % self.pc)
+
+    def coords(self, rank: int) -> tuple[int, int]:
+        """Grid coordinates (row, col) of a rank."""
+        if not 0 <= rank < self.nprocs:
+            raise ValueError("rank out of range")
+        return divmod(rank, self.pc)

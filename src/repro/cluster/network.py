@@ -1,0 +1,77 @@
+"""Network cost model and cluster presets (paper Table 3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.specs import GPUSpec, H100_SXM, MI50
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Latency + bandwidth point-to-point message cost."""
+
+    name: str
+    latency_us: float
+    bandwidth_gbs: float  # GB/s (bytes, not bits)
+
+    def message_time(self, nbytes: int) -> float:
+        """Seconds to deliver ``nbytes`` from send-complete to arrival."""
+        if nbytes < 0:
+            raise ValueError("negative message size")
+        return self.latency_us * 1e-6 + nbytes / (self.bandwidth_gbs * 1e9)
+
+
+IB_400G = NetworkModel("InfiniBand 400G", latency_us=2.0, bandwidth_gbs=50.0)
+IB_200G = NetworkModel("InfiniBand 200G", latency_us=2.5, bandwidth_gbs=25.0)
+NVLINK = NetworkModel("NVLink", latency_us=1.0, bandwidth_gbs=300.0)
+PCIE4 = NetworkModel("PCIe 4.0 x16", latency_us=1.5, bandwidth_gbs=32.0)
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous GPU cluster.
+
+    Attributes
+    ----------
+    gpu:
+        Per-process device.
+    gpus_per_node:
+        Processes sharing one node (intra-node messages use the faster
+        link).
+    internode, intranode:
+        Network models for the two locality classes.
+    """
+
+    name: str
+    gpu: GPUSpec
+    gpus_per_node: int
+    internode: NetworkModel
+    intranode: NetworkModel
+
+    def message_time(self, src: int, dst: int, nbytes: int) -> float:
+        """Message cost between two ranks (0 for self-messages)."""
+        if src == dst:
+            return 0.0
+        same_node = src // self.gpus_per_node == dst // self.gpus_per_node
+        link = self.intranode if same_node else self.internode
+        return link.message_time(nbytes)
+
+
+H100_CLUSTER = ClusterSpec(
+    name="2-node H100 SXM (8 GPUs/node, IB 400G)",
+    gpu=H100_SXM,
+    gpus_per_node=8,
+    internode=IB_400G,
+    intranode=NVLINK,
+)
+"""The paper's 16-GPU NVIDIA cluster."""
+
+MI50_CLUSTER = ClusterSpec(
+    name="4-node MI50 (4 GPUs/node, IB 200G)",
+    gpu=MI50,
+    gpus_per_node=4,
+    internode=IB_200G,
+    intranode=PCIE4,
+)
+"""The paper's 16-GPU AMD cluster."""

@@ -1,0 +1,74 @@
+"""The Trojan Horse strategy: Aggregate and Batch stages (paper §3).
+
+Four modules over two stages, mirroring Figure 5:
+
+* Aggregate stage (CPU side):
+  :class:`~repro.core.prioritizer.Prioritizer` tags ready tasks and
+  separates critical-path tasks from deferrable ones;
+  :class:`~repro.core.container.Container` is the priority heap of
+  deferred tasks.
+* Batch stage (GPU side):
+  :class:`~repro.core.collector.Collector` assembles a batch under the
+  GPU's CUDA-block and shared-memory budgets;
+  :class:`~repro.core.executor.Executor` runs the heterogeneous batch as
+  one kernel through a block→task mapping array.
+
+:class:`~repro.core.scheduler.TrojanHorseScheduler` wires the four modules
+into Algorithm 1; the baseline schedulers the paper compares against live
+in :mod:`repro.core.baselines`.
+"""
+
+from repro.core.task import Task, TaskType
+from repro.core.dag import TaskDAG, build_block_dag
+from repro.core.prioritizer import Prioritizer
+from repro.core.container import Container
+from repro.core.collector import Collector
+from repro.core.executor import (
+    Executor,
+    ExecutionBackend,
+    ReplayBackend,
+    BlockTaskMapping,
+    BatchRecord,
+)
+from repro.core.scheduler import TrojanHorseScheduler, ScheduleResult
+from repro.core.baselines import (
+    SerialScheduler,
+    LevelBatchScheduler,
+    StreamScheduler,
+    make_scheduler,
+    SCHEDULER_NAMES,
+)
+from repro.core.staticanalysis import (
+    parallelism_profile,
+    dag_statistics,
+    validate_schedule,
+)
+from repro.core.fusion import FusedBackend, FusionResult, merge_schur_tasks
+
+__all__ = [
+    "Task",
+    "TaskType",
+    "TaskDAG",
+    "build_block_dag",
+    "Prioritizer",
+    "Container",
+    "Collector",
+    "Executor",
+    "ExecutionBackend",
+    "ReplayBackend",
+    "BlockTaskMapping",
+    "BatchRecord",
+    "TrojanHorseScheduler",
+    "ScheduleResult",
+    "SerialScheduler",
+    "LevelBatchScheduler",
+    "StreamScheduler",
+    "make_scheduler",
+    "SCHEDULER_NAMES",
+    "parallelism_profile",
+    "dag_statistics",
+    "validate_schedule",
+    "FusedBackend",
+    "FusionResult",
+    "merge_schur_tasks",
+]

@@ -1,0 +1,85 @@
+"""Batch-stage Module 1: the Collector (paper §3.4).
+
+Assembles the next batch under two hardware budgets derived from the GPU
+spec: total resident CUDA blocks (``SMs × blocks-per-SM``) and total
+shared memory.  A task is admitted only if both budgets still hold — with
+the exception that a single oversized task may occupy an empty Collector
+alone (it must run *somehow*).
+"""
+
+from __future__ import annotations
+
+from repro.core.task import Task
+from repro.gpusim.specs import GPUSpec
+
+
+class Collector:
+    """Capacity-bounded batch assembly.
+
+    Parameters
+    ----------
+    gpu:
+        Hardware budget source.
+    max_tasks:
+        Optional hard cap on batch cardinality (the block→task mapping
+        array is cheap, so the default is effectively unbounded).
+    """
+
+    def __init__(self, gpu: GPUSpec, max_tasks: int | None = None):
+        self._gpu = gpu
+        self._max_blocks = gpu.max_resident_blocks
+        self._max_shmem = gpu.shared_mem_total_bytes
+        self._max_tasks = max_tasks
+        self.tasks: list[Task] = []
+        self._blocks = 0
+        self._shmem = 0
+
+    def reset(self) -> None:
+        """Empty the Collector for the next batch."""
+        self.tasks = []
+        self._blocks = 0
+        self._shmem = 0
+
+    @property
+    def cuda_blocks(self) -> int:
+        """CUDA blocks of the batch assembled so far."""
+        return self._blocks
+
+    @property
+    def shared_mem_bytes(self) -> int:
+        """Shared-memory footprint of the batch so far."""
+        return self._shmem
+
+    @property
+    def is_empty(self) -> bool:
+        """No tasks admitted yet."""
+        return not self.tasks
+
+    @property
+    def is_full(self) -> bool:
+        """Either budget exhausted (no further *typical* task fits)."""
+        return (
+            self._blocks >= self._max_blocks
+            or self._shmem >= self._max_shmem
+            or (self._max_tasks is not None and len(self.tasks) >= self._max_tasks)
+        )
+
+    def fits(self, task: Task) -> bool:
+        """Would this task respect both budgets?"""
+        if self._max_tasks is not None and len(self.tasks) >= self._max_tasks:
+            return False
+        if self.is_empty:
+            return True  # an oversized task may run alone
+        return (
+            self._blocks + task.cuda_blocks <= self._max_blocks
+            and self._shmem + task.shared_mem_bytes <= self._max_shmem
+        )
+
+    def try_push(self, task: Task) -> bool:
+        """Admit the task if capacity permits; returns success."""
+        if not self.fits(task):
+            return False
+        self.tasks.append(task)
+        self._blocks += task.cuda_blocks
+        self._shmem += task.shared_mem_bytes
+        return True

@@ -1,0 +1,55 @@
+"""Aggregate-stage Module 2: the Container (paper §3.3).
+
+A priority heap of deferred-but-ready tasks.  Pops always return the
+highest-priority stored task: urgency flag first (tasks the Collector had
+to bounce stay urgent), then distance to the main diagonal (closer tiles
+unlock the next diagonal factorisation sooner), then elimination step.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.core.task import Task
+
+
+class Container:
+    """Priority buffer for deferred tasks.
+
+    The heap key is ``(not urgent, distance, k, seq)`` — urgent re-queued
+    tasks first, then the paper's diagonal-distance priority; ``seq``
+    makes ordering deterministic and insertion-stable.
+    """
+
+    def __init__(self):
+        self._heap: list[tuple[bool, int, int, int, int]] = []
+        self._seq = 0
+
+    def push(self, task: Task, urgent: bool = False) -> None:
+        """Store a ready task for deferred execution."""
+        heapq.heappush(
+            self._heap,
+            (not urgent, task.distance, task.k, self._seq, task.tid),
+        )
+        self._seq += 1
+
+    def push_all(self, tasks, urgent: bool = False) -> None:
+        """Store several ready tasks."""
+        for t in tasks:
+            self.push(t, urgent=urgent)
+
+    def pop(self) -> int:
+        """Remove and return the highest-priority stored task id."""
+        return heapq.heappop(self._heap)[4]
+
+    def peek(self) -> int:
+        """Highest-priority stored task id without removing it."""
+        return self._heap[0][4]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no deferred tasks are stored."""
+        return not self._heap

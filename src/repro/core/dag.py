@@ -1,0 +1,282 @@
+"""The numeric-factorisation task DAG.
+
+Built from the block-level fill pattern: one GETRF per diagonal tile, one
+TSTRF/GEESM per off-diagonal factor tile, one SSSSM per (k, i, j) panel
+pair.  Dependencies follow §2.3 of the paper:
+
+* GETRF(k) ⇐ every SSSSM(·, k, k);
+* TSTRF(k, i) ⇐ GETRF(k) and every SSSSM(·, i, k);
+* GEESM(k, j) ⇐ GETRF(k) and every SSSSM(·, k, j);
+* SSSSM(k, i, j) ⇐ TSTRF(k, i) and GEESM(k, j).
+
+SSSSM tasks sharing a target tile but coming from different steps ``k``
+are mutually order-independent — they may run in the same batch with
+atomic accumulation (the 9S0/9S1 example of Figure 4).
+
+The DAG itself is immutable at run time: schedulers copy the predecessor
+counters, so one DAG serves every scheduler variant and GPU model in an
+experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.task import Task, TaskType
+from repro.kernels.flops import (
+    gemm_flops_dense,
+    getrf_flops_dense,
+    trsm_flops_dense,
+)
+from repro.sparse.blocking import Partition
+
+
+@dataclass
+class TaskDAG:
+    """Immutable task graph plus lookup indices.
+
+    Attributes
+    ----------
+    tasks:
+        All tasks, indexed by ``tid``.
+    pred_count:
+        Number of predecessors per task (int64 array).
+    successors:
+        Adjacency list: ``successors[tid]`` are the task ids unlocked by
+        completing ``tid``.
+    part:
+        The tile partition the DAG was built over.
+    """
+
+    tasks: list[Task]
+    pred_count: np.ndarray
+    successors: list[list[int]]
+    part: Partition
+
+    @property
+    def n_tasks(self) -> int:
+        """Total number of tasks."""
+        return len(self.tasks)
+
+    def initial_ready(self) -> list[int]:
+        """Task ids with no predecessors."""
+        return [t for t in range(self.n_tasks) if self.pred_count[t] == 0]
+
+    def counts_by_type(self) -> dict[str, int]:
+        """Task counts keyed by kernel-type name."""
+        out = {t.name: 0 for t in TaskType}
+        for task in self.tasks:
+            out[task.type.name] += 1
+        return out
+
+    def total_flops_est(self) -> int:
+        """Sum of structural flop estimates over all tasks."""
+        return int(sum(t.flops_est for t in self.tasks))
+
+    def validate(self) -> None:
+        """Structural sanity: acyclic and every task reachable.
+
+        Runs a full Kahn peel; raises ``AssertionError`` on a cycle.
+        Intended for tests, not hot paths.
+        """
+        indeg = self.pred_count.copy()
+        stack = [t for t in range(self.n_tasks) if indeg[t] == 0]
+        seen = 0
+        while stack:
+            t = stack.pop()
+            seen += 1
+            for s in self.successors[t]:
+                indeg[s] -= 1
+                if indeg[s] == 0:
+                    stack.append(s)
+        if seen != self.n_tasks:
+            raise AssertionError(
+                f"task DAG has a cycle or orphan: peeled {seen}/{self.n_tasks}"
+            )
+
+    def level_schedule(self) -> list[np.ndarray]:
+        """Peel the DAG level by level (the Figure-3 static analysis).
+
+        Level ``d`` holds every task whose longest chain of predecessors
+        has length ``d``; its width is the number of tasks executable in
+        parallel at time step ``d``.
+        """
+        indeg = self.pred_count.copy()
+        frontier = np.asarray(
+            [t for t in range(self.n_tasks) if indeg[t] == 0], dtype=np.int64
+        )
+        levels = []
+        while frontier.size:
+            levels.append(frontier)
+            nxt = []
+            for t in frontier:
+                for s in self.successors[t]:
+                    indeg[s] -= 1
+                    if indeg[s] == 0:
+                        nxt.append(s)
+            frontier = np.asarray(nxt, dtype=np.int64)
+        if sum(f.size for f in levels) != self.n_tasks:
+            raise AssertionError("level schedule did not cover the DAG")
+        return levels
+
+    def critical_path_lengths(self) -> np.ndarray:
+        """Longest path (in tasks) from each task to any sink, inclusive.
+
+        The Prioritizer uses this to decide which ready tasks sit on the
+        critical path.  Unit task weights: the metric ranks *dependency
+        depth*, which is what throttles parallelism.
+        """
+        cp = np.ones(self.n_tasks, dtype=np.int64)
+        # reverse topological order via Kahn on the reversed graph: process
+        # tasks in an order where all successors come first.
+        order = []
+        indeg = self.pred_count.copy()
+        stack = [t for t in range(self.n_tasks) if indeg[t] == 0]
+        while stack:
+            t = stack.pop()
+            order.append(t)
+            for s in self.successors[t]:
+                indeg[s] -= 1
+                if indeg[s] == 0:
+                    stack.append(s)
+        for t in reversed(order):
+            best = 0
+            for s in self.successors[t]:
+                if cp[s] > best:
+                    best = cp[s]
+            cp[t] = 1 + best
+        return cp
+
+
+def _sparse_getrf_est(m: int, nnz: int) -> int:
+    density = min(1.0, nnz / max(1, m * m))
+    return max(nnz, int(getrf_flops_dense(m) * density ** 1.5))
+
+
+def build_block_dag(
+    fill: np.ndarray,
+    part: Partition,
+    tile_nnz: dict[tuple[int, int], int] | None = None,
+    sparse_tiles: bool = False,
+    owner_of=None,
+) -> TaskDAG:
+    """Construct the task DAG from a block fill pattern.
+
+    Parameters
+    ----------
+    fill:
+        Boolean ``nb × nb`` tile map from
+        :func:`repro.symbolic.block_fill`.
+    part:
+        The tile partition.
+    tile_nnz:
+        Structural nonzeros per factor tile (from the element-level fill
+        split over the partition).  ``None`` treats tiles as dense.
+    sparse_tiles:
+        Mark tasks for sparse kernel accounting (the PanguLU substrate).
+    owner_of:
+        Optional ``owner_of(i, j) -> rank`` for distributed runs (2-D
+        block-cyclic in :mod:`repro.cluster`).
+    """
+    nb = part.nblocks
+    fill = np.asarray(fill, dtype=bool)
+    if fill.shape != (nb, nb):
+        raise ValueError("fill pattern does not match partition")
+    sizes = part.sizes()
+
+    def nnz_of(i: int, j: int) -> int:
+        full = int(sizes[i]) * int(sizes[j])
+        if tile_nnz is None:
+            return full
+        return min(full, int(tile_nnz.get((i, j), full)))
+
+    tasks: list[Task] = []
+    getrf_id: dict[int, int] = {}
+    tstrf_id: dict[tuple[int, int], int] = {}
+    geesm_id: dict[tuple[int, int], int] = {}
+
+    def add(task_type: TaskType, k: int, i: int, j: int) -> int:
+        tid = len(tasks)
+        rows, cols = int(sizes[i]), int(sizes[j])
+        nnz = nnz_of(i, j)
+        mk = int(sizes[k])
+        if task_type == TaskType.GETRF:
+            flops = _sparse_getrf_est(rows, nnz) if sparse_tiles \
+                else getrf_flops_dense(rows)
+            nbytes = 8 * 2 * nnz
+        elif task_type in (TaskType.TSTRF, TaskType.GEESM):
+            diag_nnz = nnz_of(k, k)
+            if sparse_tiles:
+                flops = max(nnz, int(2 * nnz * diag_nnz / max(1, mk)))
+            else:
+                flops = trsm_flops_dense(mk, rows if task_type == TaskType.TSTRF
+                                         else cols)
+            nbytes = 8 * (2 * nnz + diag_nnz)
+        else:  # SSSSM
+            l_nnz = nnz_of(i, k)
+            u_nnz = nnz_of(k, j)
+            if sparse_tiles:
+                flops = max(1, int(2 * l_nnz * u_nnz / max(1, mk)))
+            else:
+                flops = gemm_flops_dense(rows, mk, cols)
+            nbytes = 8 * (nnz + l_nnz + u_nnz)
+        tasks.append(
+            Task(
+                tid=tid, type=task_type, k=k, i=i, j=j,
+                rows=rows, cols=cols, nnz=nnz, sparse=sparse_tiles,
+                atomic=task_type == TaskType.SSSSM,
+                flops_est=int(flops), bytes_est=int(nbytes),
+                owner=0 if owner_of is None else int(owner_of(i, j)),
+            )
+        )
+        return tid
+
+    # enumerate tasks step by step
+    lower_of: list[np.ndarray] = []
+    upper_of: list[np.ndarray] = []
+    for k in range(nb):
+        getrf_id[k] = add(TaskType.GETRF, k, k, k)
+        li = np.flatnonzero(fill[k + 1:, k]) + k + 1
+        uj = np.flatnonzero(fill[k, k + 1:]) + k + 1
+        lower_of.append(li)
+        upper_of.append(uj)
+        for i in li:
+            tstrf_id[(int(i), k)] = add(TaskType.TSTRF, k, int(i), k)
+        for j in uj:
+            geesm_id[(k, int(j))] = add(TaskType.GEESM, k, k, int(j))
+
+    ssssm_ids: list[tuple[int, int, int, int]] = []  # (tid, k, i, j)
+    for k in range(nb):
+        for i in lower_of[k]:
+            for j in upper_of[k]:
+                tid = add(TaskType.SSSSM, k, int(i), int(j))
+                ssssm_ids.append((tid, k, int(i), int(j)))
+
+    n = len(tasks)
+    pred_count = np.zeros(n, dtype=np.int64)
+    successors: list[list[int]] = [[] for _ in range(n)]
+
+    def edge(a: int, b: int) -> None:
+        successors[a].append(b)
+        pred_count[b] += 1
+
+    for k in range(nb):
+        g = getrf_id[k]
+        for i in lower_of[k]:
+            edge(g, tstrf_id[(int(i), k)])
+        for j in upper_of[k]:
+            edge(g, geesm_id[(k, int(j))])
+    for tid, k, i, j in ssssm_ids:
+        edge(tstrf_id[(i, k)], tid)
+        edge(geesm_id[(k, j)], tid)
+        # hand-off to the tile's own factor-time operation
+        if i == j:
+            edge(tid, getrf_id[i])
+        elif i > j:
+            edge(tid, tstrf_id[(i, j)])
+        else:
+            edge(tid, geesm_id[(i, j)])
+    return TaskDAG(tasks=tasks, pred_count=pred_count,
+                   successors=successors, part=part)

@@ -1,0 +1,100 @@
+"""Aggregate-stage Module 1: the Prioritizer (paper §3.3).
+
+Holds the pool of *ready* tasks (all dependencies satisfied), ranks them,
+and classifies each as urgent (on the critical path → go straight to the
+Collector) or deferrable (→ Container).  Urgency combines two signals
+from the paper: position on the critical path (computed statically as
+longest-path-to-sink) and distance of the task's tile to the main
+diagonal.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.core.dag import TaskDAG
+from repro.core.task import Task
+
+
+class Prioritizer:
+    """Ready-task pool with urgency classification.
+
+    Parameters
+    ----------
+    dag:
+        The task DAG (used for task metadata).
+    cp_lengths:
+        Longest-path-to-sink per task
+        (:meth:`repro.core.dag.TaskDAG.critical_path_lengths`).
+    critical_slack:
+        A ready task is *urgent* when its critical-path length is within
+        ``critical_slack`` of the longest among currently-ready tasks.
+        0 reproduces the paper's strict "on the critical path" rule.
+    """
+
+    def __init__(self, dag: TaskDAG, cp_lengths: np.ndarray,
+                 critical_slack: int = 0):
+        if cp_lengths.shape[0] != dag.n_tasks:
+            raise ValueError("critical-path array does not match the DAG")
+        self._dag = dag
+        self._cp = cp_lengths
+        self._slack = int(critical_slack)
+        # heap of (-cp, distance, tid): longest chain first, then nearest
+        # to the diagonal
+        self._heap: list[tuple[int, int, int]] = []
+        self._round_max: int | None = None
+
+    def push_ready(self, tid: int) -> None:
+        """Register a task whose dependencies just completed."""
+        task = self._dag.tasks[tid]
+        heapq.heappush(self._heap, (-int(self._cp[tid]), task.distance, tid))
+
+    def push_many(self, tids) -> None:
+        """Register several newly ready tasks."""
+        for t in tids:
+            self.push_ready(t)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def has_ready(self) -> bool:
+        """True while ready tasks remain unclassified."""
+        return bool(self._heap)
+
+    def pop_most_urgent(self) -> int:
+        """Remove and return the highest-ranked ready task id."""
+        return heapq.heappop(self._heap)[2]
+
+    def begin_round(self) -> None:
+        """Snapshot the critical frontier before classifying a round.
+
+        Criticality is judged against the longest chain among the tasks
+        ready *at the start* of the round — judging against the shrinking
+        heap would mark every popped task critical (the pop order is by
+        chain length), making the classification vacuous.
+        """
+        self._round_max = -self._heap[0][0] if self._heap else None
+
+    def is_critical(self, tid: int) -> bool:
+        """Is this task on the critical path among the round's ready work?
+
+        The longest ready chain (snapshot from :meth:`begin_round`)
+        defines the frontier of the critical path; tasks within
+        ``critical_slack`` of it are urgent and bypass the Container.
+        """
+        if self._round_max is None:
+            max_cp = -self._heap[0][0] if self._heap else int(self._cp[tid])
+        else:
+            max_cp = self._round_max
+        return int(self._cp[tid]) >= max_cp - self._slack
+
+    def drain(self) -> list[int]:
+        """Remove and return every ready task (used when the Collector
+        fills early and the remainder must be deferred, Algorithm 1
+        lines 8–10)."""
+        out = [entry[2] for entry in self._heap]
+        self._heap.clear()
+        return out

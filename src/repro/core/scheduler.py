@@ -1,0 +1,177 @@
+"""Algorithm 1: the Trojan Horse task-collection loop.
+
+Wires the four modules together for a single process: the Prioritizer
+classifies ready tasks, critical ones go straight to the Collector,
+deferrable ones to the Container; the Collector tops itself up from the
+Container until a hardware budget trips; the Executor launches the batch
+and its completions unlock new ready tasks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.collector import Collector
+from repro.core.container import Container
+from repro.core.dag import TaskDAG
+from repro.core.executor import BatchRecord, ExecutionBackend, Executor
+from repro.core.prioritizer import Prioritizer
+from repro.gpusim.costmodel import GPUCostModel
+
+#: CPU-side cost of classifying one task (Prioritizer + Container ops).
+PER_TASK_SCHED_US = 0.5
+#: CPU-side cost of assembling one batch (Collector + mapping array).
+PER_BATCH_SCHED_US = 2.0
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of scheduling one factorisation on one device.
+
+    ``total_time`` is kernel timeline end plus the (serialised) CPU
+    scheduling overhead — the decomposition Figure 11 reports.
+    """
+
+    scheduler: str
+    device: str
+    batches: list[BatchRecord]
+    kernel_count: int
+    task_count: int
+    kernel_time: float
+    sched_overhead: float
+    total_flops: int
+    counts_by_type: dict[str, int]
+
+    @property
+    def total_time(self) -> float:
+        """End-to-end simulated numeric-phase time."""
+        return self.kernel_time + self.sched_overhead
+
+    @property
+    def gflops(self) -> float:
+        """Aggregate achieved throughput over the whole factorisation."""
+        return self.total_flops / self.total_time / 1e9 if self.total_time else 0.0
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average tasks per kernel launch — the aggregation factor."""
+        return self.task_count / self.kernel_count if self.kernel_count else 0.0
+
+    def gflops_timeline(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-launch throughput series for Figure-8 style plots.
+
+        Returns ``(t_end, gflops)`` arrays, one point per kernel launch.
+        """
+        t = np.asarray([b.t_end for b in self.batches])
+        g = np.asarray([b.gflops for b in self.batches])
+        return t, g
+
+    def summary(self) -> dict:
+        """Compact dict for benchmark tables."""
+        return {
+            "scheduler": self.scheduler,
+            "device": self.device,
+            "tasks": self.task_count,
+            "kernels": self.kernel_count,
+            "mean_batch": round(self.mean_batch_size, 2),
+            "kernel_time_s": self.kernel_time,
+            "sched_time_s": self.sched_overhead,
+            "total_time_s": self.total_time,
+            "gflops": self.gflops,
+        }
+
+
+class TrojanHorseScheduler:
+    """Single-process Algorithm-1 driver.
+
+    Parameters
+    ----------
+    dag:
+        The task DAG (never mutated — predecessor counts are copied).
+    backend:
+        Numeric or replay execution backend.
+    model:
+        GPU cost model providing launch times and the Collector budgets.
+    critical_slack:
+        Forwarded to the Prioritizer's criticality test.
+    max_batch_tasks:
+        Optional Collector cardinality cap.
+    """
+
+    name = "trojan"
+
+    def __init__(self, dag: TaskDAG, backend: ExecutionBackend,
+                 model: GPUCostModel, critical_slack: int = 0,
+                 max_batch_tasks: int | None = None):
+        self._dag = dag
+        self._backend = backend
+        self._model = model
+        self._slack = critical_slack
+        self._max_batch = max_batch_tasks
+
+    def run(self) -> ScheduleResult:
+        """Execute the whole DAG; returns the schedule record."""
+        dag = self._dag
+        pred = dag.pred_count.copy()
+        prio = Prioritizer(dag, dag.critical_path_lengths(),
+                           critical_slack=self._slack)
+        cont = Container()
+        coll = Collector(self._model.gpu, max_tasks=self._max_batch)
+        execu = Executor(self._model, self._backend)
+        prio.push_many(dag.initial_ready())
+
+        batches: list[BatchRecord] = []
+        t = 0.0
+        remaining = dag.n_tasks
+        while remaining > 0:
+            coll.reset()
+            # ---- Aggregate stage: classify every ready task -------------
+            prio.begin_round()
+            while prio.has_ready:
+                tid = prio.pop_most_urgent()
+                task = dag.tasks[tid]
+                if prio.is_critical(tid):
+                    if not coll.try_push(task):
+                        # Collector full before all urgent tasks fit:
+                        # defer the rest, keeping the urgent flag (§3.4)
+                        cont.push(task, urgent=True)
+                        for other in prio.drain():
+                            cont.push(dag.tasks[other])
+                        break
+                else:
+                    cont.push(task)
+            # ---- Batch stage: top up from the Container ------------------
+            while not coll.is_full and not cont.is_empty:
+                task = dag.tasks[cont.peek()]
+                if coll.try_push(task):
+                    cont.pop()
+                else:
+                    break
+            if coll.is_empty:
+                raise AssertionError(
+                    "scheduler stalled with work remaining — DAG bug"
+                )
+            record = execu.run_batch(coll.tasks, t)
+            t = record.t_end
+            batches.append(record)
+            remaining -= len(coll.tasks)
+            for task in coll.tasks:
+                for s in dag.successors[task.tid]:
+                    pred[s] -= 1
+                    if pred[s] == 0:
+                        prio.push_ready(s)
+        sched = (PER_TASK_SCHED_US * dag.n_tasks
+                 + PER_BATCH_SCHED_US * len(batches)) * 1e-6
+        return ScheduleResult(
+            scheduler=self.name,
+            device=self._model.gpu.name,
+            batches=batches,
+            kernel_count=len(batches),
+            task_count=dag.n_tasks,
+            kernel_time=t,
+            sched_overhead=sched,
+            total_flops=sum(b.flops for b in batches),
+            counts_by_type=dag.counts_by_type(),
+        )

@@ -1,0 +1,104 @@
+"""Task descriptors for the numeric-factorisation DAG.
+
+A task is one of the four kernel operations on one tile (or tile triple
+for SSSSM).  Its resource footprint follows the paper's CUDA-block mapping
+(§3.4 / Figure 7): GETRF one block per column, TSTRF one per row, GEESM
+and SSSSM one per column; each block stages one row/column in shared
+memory when it fits.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+_SHARED_MEM_CAP_BYTES = 48 * 1024  # per-CUDA-block staging limit
+
+
+class TaskType(enum.IntEnum):
+    """The four Executor kernel types (paper nomenclature)."""
+
+    GETRF = 0  #: LU factorisation of a diagonal tile
+    TSTRF = 1  #: row-panel triangular solve, L(i,k) = A(i,k)·U(k,k)⁻¹
+    GEESM = 2  #: column-panel triangular solve, U(k,j) = L(k,k)⁻¹·A(k,j)
+    SSSSM = 3  #: Schur-complement update, A(i,j) −= L(i,k)·U(k,j)
+
+
+@dataclass
+class Task:
+    """One schedulable kernel task.
+
+    Attributes
+    ----------
+    tid:
+        Dense task id (index into the DAG arrays).
+    type:
+        Kernel type.
+    k, i, j:
+        Elimination step and tile coordinates.  GETRF has ``i == j == k``;
+        TSTRF is the (i, k) tile; GEESM the (k, j) tile; SSSSM updates
+        tile (i, j) using step-``k`` panels.
+    rows, cols:
+        Dimensions of the task's output tile.
+    nnz:
+        Structural nonzeros of the output tile (dense tiles: rows·cols).
+    sparse:
+        Whether the tile kernel runs in sparse (gather/compute/scatter)
+        mode — affects flop/byte accounting only.
+    atomic:
+        SSSSM only: the update may share its target tile with other
+        batched SSSSM tasks and must accumulate atomically (paper's
+        9S0/9S1 case).
+    flops_est, bytes_est:
+        Structural work estimates used for scheduling decisions and for
+        replay-mode simulation; numeric execution refines them with exact
+        counts.
+    owner:
+        Owning process rank in distributed runs (0 for single process).
+    """
+
+    tid: int
+    type: TaskType
+    k: int
+    i: int
+    j: int
+    rows: int
+    cols: int
+    nnz: int
+    sparse: bool = False
+    atomic: bool = False
+    flops_est: int = 0
+    bytes_est: int = 0
+    owner: int = 0
+
+    @property
+    def cuda_blocks(self) -> int:
+        """CUDA blocks per the paper's Figure-7 mapping."""
+        if self.type == TaskType.TSTRF:
+            return max(1, self.rows)
+        return max(1, self.cols)
+
+    @property
+    def shared_mem_bytes(self) -> int:
+        """Per-task shared-memory footprint (one staged row/column per
+        CUDA block, capped at the hardware per-block limit; oversized
+        rows/columns fall back to global memory and cost nothing here)."""
+        if self.type == TaskType.TSTRF:
+            vector = self.cols * 8
+        else:
+            vector = self.rows * 8
+        if vector > _SHARED_MEM_CAP_BYTES:
+            return 0
+        return self.cuda_blocks * vector
+
+    @property
+    def distance(self) -> int:
+        """Distance of the output tile to the main diagonal — the
+        Prioritizer's urgency metric (§3.3)."""
+        return abs(self.i - self.j)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"Task({self.tid}:{self.type.name} k={self.k} "
+            f"({self.i},{self.j}) {self.rows}x{self.cols})"
+        )

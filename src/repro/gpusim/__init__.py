@@ -1,0 +1,43 @@
+"""Analytic GPU/CPU performance model — the hardware substitution.
+
+No GPU is available to this reproduction, so the paper's hardware
+(Tables 1 and 3) is replaced by an occupancy + roofline cost model that
+consumes exactly the quantities the real Collector/Executor reason about:
+CUDA block counts, shared-memory footprints, structural flops and bytes.
+A kernel launch costs a fixed overhead; a *batched* launch pays it once
+and earns the occupancy of all its tasks' CUDA blocks together — the
+mechanism behind every headline result in the paper.
+
+Calibration targets the published peak numbers only; absolute times are
+not claimed (DESIGN.md §3).
+"""
+
+from repro.gpusim.specs import (
+    GPUSpec,
+    CPUSpec,
+    RTX5060TI,
+    RTX5090,
+    A100_40GB,
+    H100_SXM,
+    MI50,
+    XEON_6462C,
+    GPU_PRESETS,
+)
+from repro.gpusim.costmodel import GPUCostModel, CPUCostModel, KernelLaunch
+from repro.gpusim.streams import StreamSimulator
+
+__all__ = [
+    "GPUSpec",
+    "CPUSpec",
+    "RTX5060TI",
+    "RTX5090",
+    "A100_40GB",
+    "H100_SXM",
+    "MI50",
+    "XEON_6462C",
+    "GPU_PRESETS",
+    "GPUCostModel",
+    "CPUCostModel",
+    "KernelLaunch",
+    "StreamSimulator",
+]

@@ -1,0 +1,154 @@
+"""Hardware specifications from the paper's Tables 1 and 3.
+
+Core counts, FP64 peaks, memory sizes and bandwidths are the paper's
+numbers; SM counts derive from core counts (128 CUDA cores per NVIDIA SM,
+64 per AMD CU), and the remaining microarchitectural constants (shared
+memory, launch overhead) use public vendor figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """A GPU for the cost model.
+
+    Attributes
+    ----------
+    name:
+        Display name.
+    sm_count:
+        Streaming multiprocessors (CUs for AMD).
+    fp64_gflops:
+        Peak double-precision throughput in GFLOP/s.
+    mem_bw_gbs:
+        Memory bandwidth in GB/s.
+    memory_gb:
+        Device memory capacity.
+    shared_mem_per_sm_kb:
+        Shared memory per SM in KiB — one of the Collector's two capacity
+        budgets.
+    max_blocks_per_sm:
+        Resident CUDA blocks per SM the Collector targets — the other
+        capacity budget.
+    launch_overhead_us:
+        Fixed cost of one kernel launch in microseconds (driver +
+        dispatch); the quantity batching amortises.
+    dispatch_serial_us:
+        CPU-side portion of a launch that serialises across streams (the
+        driver submits kernels through one path).  Streams overlap the
+        GPU-side latency but never this component — the structural reason
+        multi-stream execution cannot match aggregate-and-batch.
+    """
+
+    name: str
+    sm_count: int
+    fp64_gflops: float
+    mem_bw_gbs: float
+    memory_gb: float
+    shared_mem_per_sm_kb: float = 100.0
+    max_blocks_per_sm: int = 8
+    launch_overhead_us: float = 8.0
+    dispatch_serial_us: float = 4.0
+
+    @property
+    def max_resident_blocks(self) -> int:
+        """Device-wide resident CUDA block budget."""
+        return self.sm_count * self.max_blocks_per_sm
+
+    @property
+    def shared_mem_total_bytes(self) -> float:
+        """Device-wide shared-memory budget in bytes."""
+        return self.sm_count * self.shared_mem_per_sm_kb * 1024.0
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """A CPU socket for the Table-7 comparison.
+
+    CPUs pay no kernel-launch overhead and keep decent efficiency on tiny
+    tasks (caches + out-of-order cores), which is exactly why the paper's
+    CPU baselines beat launch-bound GPU solvers.
+    """
+
+    name: str
+    cores: int
+    fp64_gflops: float
+    mem_bw_gbs: float
+    task_overhead_us: float = 0.3
+    small_task_efficiency: float = 0.35
+
+
+# ----------------------------------------------------------------------
+# Table 1 — scale-up platforms
+# ----------------------------------------------------------------------
+RTX5060TI = GPUSpec(
+    name="RTX 5060 Ti",
+    sm_count=36,            # 4,608 cores / 128
+    fp64_gflops=370.0,      # 0.37 TFlops
+    mem_bw_gbs=450.0,       # 0.45 TB/s
+    memory_gb=16.0,
+    shared_mem_per_sm_kb=100.0,
+)
+
+RTX5090 = GPUSpec(
+    name="RTX 5090",
+    sm_count=170,           # 21,760 cores / 128
+    fp64_gflops=1640.0,     # 1.64 TFlops
+    mem_bw_gbs=1790.0,      # 1.79 TB/s
+    memory_gb=32.0,
+    shared_mem_per_sm_kb=100.0,
+)
+
+A100_40GB = GPUSpec(
+    name="A100 PCIe 40GB",
+    sm_count=108,           # 6,912 cores / 64 FP32-pairs → official 108 SMs
+    fp64_gflops=9750.0,     # 9.75 TFlops
+    mem_bw_gbs=1560.0,      # 1.56 TB/s
+    memory_gb=40.0,
+    shared_mem_per_sm_kb=164.0,
+)
+
+# ----------------------------------------------------------------------
+# Table 3 — scale-out platforms
+# ----------------------------------------------------------------------
+H100_SXM = GPUSpec(
+    name="H100 SXM",
+    sm_count=114,           # 14,592 cores / 128
+    fp64_gflops=25610.0,    # 25.61 TFlops (per-GPU share of Table 3)
+    mem_bw_gbs=2040.0,      # 2.04 TB/s
+    memory_gb=80.0,
+    shared_mem_per_sm_kb=228.0,
+)
+
+MI50 = GPUSpec(
+    name="MI50 PCIe",
+    sm_count=60,            # 3,840 cores / 64 per CU
+    fp64_gflops=6710.0,     # 6.71 TFlops
+    mem_bw_gbs=1020.0,      # 1.02 TB/s
+    memory_gb=16.0,
+    shared_mem_per_sm_kb=64.0,
+    launch_overhead_us=12.0,  # ROCm dispatch is costlier than CUDA
+    dispatch_serial_us=6.0,   # ... including its CPU-side serial share
+)
+
+# ----------------------------------------------------------------------
+# §4.5 CPU platform
+# ----------------------------------------------------------------------
+XEON_6462C = CPUSpec(
+    name="Xeon Gold 6462C (32c Sapphire Rapids)",
+    cores=32,
+    fp64_gflops=2970.0,     # 32 cores × 2.9 GHz × 32 flops/cycle (AVX-512 FMA)
+    mem_bw_gbs=307.0,       # 8×DDR5-4800
+)
+
+GPU_PRESETS: dict[str, GPUSpec] = {
+    "rtx5060ti": RTX5060TI,
+    "rtx5090": RTX5090,
+    "a100": A100_40GB,
+    "h100": H100_SXM,
+    "mi50": MI50,
+}
+"""Lookup table used by benches and examples (keys are lowercase)."""

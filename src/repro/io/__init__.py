@@ -1,0 +1,11 @@
+"""Matrix I/O: a minimal Matrix Market reader/writer.
+
+The paper's evaluation pulls matrices from the SuiteSparse collection in
+Matrix Market (``.mtx``) format.  Networkless reproduction uses synthetic
+generators instead, but the format support keeps the pipeline drop-in
+compatible with real SuiteSparse files when they are available.
+"""
+
+from repro.io.matrixmarket import read_matrix_market, write_matrix_market
+
+__all__ = ["read_matrix_market", "write_matrix_market"]

@@ -1,0 +1,105 @@
+"""Minimal Matrix Market (``.mtx``) coordinate-format reader/writer.
+
+Supports the subset SuiteSparse matrices actually use for LU testing:
+``matrix coordinate real {general|symmetric|skew-symmetric}`` and
+``matrix coordinate pattern {general|symmetric}`` (pattern entries get
+value 1.0).  Complex and array (dense) variants are rejected explicitly.
+"""
+
+from __future__ import annotations
+
+import io
+import numpy as np
+
+from repro.sparse import COOMatrix, CSRMatrix
+
+
+def read_matrix_market(path_or_file) -> CSRMatrix:
+    """Read a Matrix Market coordinate file into CSR.
+
+    Parameters
+    ----------
+    path_or_file:
+        Filesystem path or an open text-mode file object.
+
+    Returns
+    -------
+    CSRMatrix
+        Canonicalised matrix; symmetric/skew storage is expanded to the
+        full pattern.
+    """
+    if hasattr(path_or_file, "read"):
+        return _read(path_or_file)
+    with open(path_or_file, "r", encoding="utf-8") as fh:
+        return _read(fh)
+
+
+def _read(fh) -> CSRMatrix:
+    header = fh.readline()
+    if not header.startswith("%%MatrixMarket"):
+        raise ValueError("missing MatrixMarket header")
+    tokens = header.strip().split()
+    if len(tokens) < 5:
+        raise ValueError("malformed MatrixMarket header")
+    _, obj, fmt, field, symmetry = [t.lower() for t in tokens[:5]]
+    if obj != "matrix" or fmt != "coordinate":
+        raise ValueError(f"unsupported MatrixMarket object/format: {obj} {fmt}")
+    if field not in ("real", "integer", "pattern"):
+        raise ValueError(f"unsupported MatrixMarket field: {field}")
+    if symmetry not in ("general", "symmetric", "skew-symmetric"):
+        raise ValueError(f"unsupported MatrixMarket symmetry: {symmetry}")
+
+    line = fh.readline()
+    while line.startswith("%") or not line.strip():
+        line = fh.readline()
+    m, n, nnz = (int(t) for t in line.split())
+
+    rows = np.empty(nnz, dtype=np.int64)
+    cols = np.empty(nnz, dtype=np.int64)
+    vals = np.empty(nnz, dtype=np.float64)
+    k = 0
+    for line in fh:
+        line = line.strip()
+        if not line or line.startswith("%"):
+            continue
+        parts = line.split()
+        rows[k] = int(parts[0]) - 1
+        cols[k] = int(parts[1]) - 1
+        vals[k] = float(parts[2]) if field != "pattern" else 1.0
+        k += 1
+    if k != nnz:
+        raise ValueError(f"expected {nnz} entries, found {k}")
+
+    if symmetry in ("symmetric", "skew-symmetric"):
+        off = rows != cols
+        sign = -1.0 if symmetry == "skew-symmetric" else 1.0
+        coo = COOMatrix(
+            (m, n),
+            np.concatenate([rows, cols[off]]),
+            np.concatenate([cols, rows[off]]),
+            np.concatenate([vals, sign * vals[off]]),
+        )
+    else:
+        coo = COOMatrix((m, n), rows, cols, vals)
+    return coo.to_csr()
+
+
+def write_matrix_market(path_or_file, a: CSRMatrix, comment: str = "") -> None:
+    """Write a CSR matrix as ``matrix coordinate real general``."""
+    if hasattr(path_or_file, "write"):
+        _write(path_or_file, a, comment)
+        return
+    with open(path_or_file, "w", encoding="utf-8") as fh:
+        _write(fh, a, comment)
+
+
+def _write(fh, a: CSRMatrix, comment: str) -> None:
+    fh.write("%%MatrixMarket matrix coordinate real general\n")
+    for line in comment.splitlines():
+        fh.write(f"% {line}\n")
+    fh.write(f"{a.nrows} {a.ncols} {a.nnz}\n")
+    rows = np.repeat(np.arange(a.nrows, dtype=np.int64), a.row_lengths())
+    buf = io.StringIO()
+    for r, c, v in zip(rows, a.indices, a.data):
+        buf.write(f"{r + 1} {c + 1} {v:.17g}\n")
+    fh.write(buf.getvalue())

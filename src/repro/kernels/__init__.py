@@ -1,0 +1,56 @@
+"""Reference numeric kernels for the four task types.
+
+The Executor of the paper supports four customisable task kernels
+(§3.4, Figure 7): GETRF (diagonal LU), TSTRF (row-panel triangular
+solve), GEESM (column-panel triangular solve) and SSSSM (Schur-complement
+GEMM), each in a dense and a sparse (gather–compute–scatter) flavour.
+This package provides NumPy reference implementations that mutate dense
+tile scratch in place — exactly the dense staging the paper's GETRF kernel
+performs — together with exact structural flop/byte accounting used by the
+GPU cost model.
+"""
+
+from repro.kernels.dense import (
+    dense_getrf,
+    dense_getrf_pivoted,
+    trsm_lower_unit,
+    trsm_upper,
+    gemm_update,
+)
+from repro.kernels.tilekernels import (
+    KernelStats,
+    getrf_kernel,
+    tstrf_kernel,
+    geesm_kernel,
+    ssssm_kernel,
+)
+from repro.kernels.reference_lu import ReferenceLUResult, reference_lu
+from repro.kernels.flops import (
+    getrf_flops_dense,
+    trsm_flops_dense,
+    gemm_flops_dense,
+    getrf_flops_sparse,
+    ssssm_flops_sparse,
+    factorization_flops,
+)
+
+__all__ = [
+    "dense_getrf",
+    "dense_getrf_pivoted",
+    "trsm_lower_unit",
+    "trsm_upper",
+    "gemm_update",
+    "KernelStats",
+    "getrf_kernel",
+    "tstrf_kernel",
+    "geesm_kernel",
+    "ssssm_kernel",
+    "ReferenceLUResult",
+    "reference_lu",
+    "getrf_flops_dense",
+    "trsm_flops_dense",
+    "gemm_flops_dense",
+    "getrf_flops_sparse",
+    "ssssm_flops_sparse",
+    "factorization_flops",
+]

@@ -1,0 +1,117 @@
+"""Dense building-block kernels (NumPy, in place where meaningful).
+
+``dense_getrf`` follows the right-looking outer-product form — one
+vectorised rank-1 update per elimination step, the same dataflow the
+paper's synchronisation-free GPU kernel parallelises column-wise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def dense_getrf(a: np.ndarray) -> np.ndarray:
+    """In-place LU factorisation without pivoting: ``A ← L\\U``.
+
+    ``L`` is unit lower triangular (unit diagonal not stored), ``U`` upper
+    triangular.  Raises ``ZeroDivisionError`` on a zero pivot — the
+    generators guarantee diagonal dominance, so hitting this means a
+    scheduling/data bug upstream, not bad luck.
+    """
+    m, n = a.shape
+    if m != n:
+        raise ValueError("dense_getrf requires a square tile")
+    for k in range(n - 1):
+        piv = a[k, k]
+        if piv == 0.0:
+            raise ZeroDivisionError(f"zero pivot at column {k}")
+        a[k + 1:, k] /= piv
+        # rank-1 trailing update (vectorised, the hot loop)
+        a[k + 1:, k + 1:] -= np.outer(a[k + 1:, k], a[k, k + 1:])
+    if n > 0 and a[n - 1, n - 1] == 0.0:
+        raise ZeroDivisionError(f"zero pivot at column {n - 1}")
+    return a
+
+
+def dense_getrf_pivoted(a: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """In-place LU with partial (row) pivoting: returns ``(A, piv)``.
+
+    ``piv[k]`` is the row swapped into position ``k`` at step ``k``
+    (LAPACK-style ipiv, 0-based).  Provided for standalone use and for
+    testing the pivot-free path's diagonal-dominance assumption.
+    """
+    m, n = a.shape
+    if m != n:
+        raise ValueError("dense_getrf_pivoted requires a square tile")
+    piv = np.arange(n, dtype=np.int64)
+    for k in range(n - 1):
+        p = k + int(np.argmax(np.abs(a[k:, k])))
+        if a[p, k] == 0.0:
+            raise ZeroDivisionError(f"matrix is singular at column {k}")
+        if p != k:
+            a[[k, p], :] = a[[p, k], :]
+            piv[k] = p
+        a[k + 1:, k] /= a[k, k]
+        a[k + 1:, k + 1:] -= np.outer(a[k + 1:, k], a[k, k + 1:])
+    return a, piv
+
+
+def trsm_lower_unit(l_tile: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Solve ``L X = B`` in place (B overwritten with X).
+
+    ``l_tile`` holds a packed LU tile; only its strictly-lower part is
+    read and the diagonal is taken as 1 (GETRF's storage convention).
+    Row-sequential forward substitution; each step updates all right-hand
+    sides at once.
+    """
+    m = l_tile.shape[0]
+    if b.shape[0] != m:
+        raise ValueError("dimension mismatch in trsm_lower_unit")
+    for r in range(1, m):
+        b[r] -= l_tile[r, :r] @ b[:r]
+    return b
+
+
+def trsm_upper(u_tile: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Solve ``X U = B`` in place (B overwritten with X).
+
+    Only the upper triangle (including diagonal) of ``u_tile`` is read.
+    Column-sequential substitution over the columns of ``B``.
+    """
+    m = u_tile.shape[0]
+    if b.shape[1] != m:
+        raise ValueError("dimension mismatch in trsm_upper")
+    for c in range(m):
+        if c:
+            b[:, c] -= b[:, :c] @ u_tile[:c, c]
+        d = u_tile[c, c]
+        if d == 0.0:
+            raise ZeroDivisionError(f"zero diagonal at column {c}")
+        b[:, c] /= d
+    return b
+
+
+def gemm_update(c: np.ndarray, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Schur update ``C ← C − A @ B`` in place."""
+    c -= a @ b
+    return c
+
+
+def dense_potrf(a: np.ndarray) -> np.ndarray:
+    """In-place Cholesky factorisation ``A ← L`` (lower triangle valid).
+
+    Right-looking form, mirroring :func:`dense_getrf`'s dataflow so the
+    Cholesky substrate schedules through the identical task machinery.
+    Raises ``ValueError`` if the tile is not positive definite.
+    """
+    m, n = a.shape
+    if m != n:
+        raise ValueError("dense_potrf requires a square tile")
+    for k in range(n):
+        d = a[k, k]
+        if d <= 0.0:
+            raise ValueError(f"tile not positive definite at column {k}")
+        a[k, k] = np.sqrt(d)
+        a[k + 1:, k] /= a[k, k]
+        a[k + 1:, k + 1:] -= np.outer(a[k + 1:, k], a[k + 1:, k])
+    return a

@@ -1,0 +1,118 @@
+"""Element-level sparse LU — the independent numeric oracle.
+
+A row-wise (ikj / Doolittle) sparse LU working directly on per-row hash
+maps: row ``i`` is eliminated against every previously-computed row of
+``U`` it touches, discovering fill on the fly.  No blocking, no
+scheduling, no dense staging — machinery completely independent from the
+tile engine, which makes it the cross-check oracle for every solver
+substrate (``tests/test_reference_lu.py`` compares factors and
+solutions).
+
+Pivot-free by design, mirroring the static-pivoting assumption of the GPU
+paths; combine with :func:`repro.ordering.static_pivot_permutation` for
+matrices without a dominant diagonal.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sparse import COOMatrix, CSRMatrix, triangular_solve
+
+
+@dataclass
+class ReferenceLUResult:
+    """Factors of the element-level reference LU.
+
+    ``L`` is unit-lower (unit diagonal stored explicitly), ``U`` upper,
+    with ``L @ U = A`` exactly (no permutations).
+    """
+
+    L: CSRMatrix
+    U: CSRMatrix
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        """Solve ``A x = b`` using the computed factors."""
+        b = np.asarray(b, dtype=np.float64)
+        y = triangular_solve(self.L, b, lower=True)
+        return triangular_solve(self.U, y, lower=False)
+
+
+def reference_lu(a: CSRMatrix) -> ReferenceLUResult:
+    """Row-wise sparse LU without pivoting.
+
+    For each row ``i``: load the sparse row into a hash map, then process
+    its below-diagonal entries in ascending column order (a lazy heap —
+    elimination introduces fill that must itself be eliminated), each time
+    scaling by the pivot of the earlier row and subtracting that row's
+    ``U`` part.
+
+    Raises ``ZeroDivisionError`` on a zero pivot.
+    """
+    if a.nrows != a.ncols:
+        raise ValueError("reference LU requires a square matrix")
+    n = a.nrows
+    u_rows: list[tuple[np.ndarray, np.ndarray]] = []  # (cols>=k, vals)
+    l_i: list[int] = []
+    l_j: list[int] = []
+    l_v: list[float] = []
+
+    for i in range(n):
+        cols, vals = a.row_slice(i)
+        work: dict[int, float] = dict(zip(cols.tolist(), vals.tolist()))
+        heap = [c for c in work if c < i]
+        heapq.heapify(heap)
+        done: set[int] = set()
+        while heap:
+            k = heapq.heappop(heap)
+            if k in done:
+                continue
+            done.add(k)
+            w = work.get(k, 0.0)
+            ucols, uvals = u_rows[k]
+            pivot = uvals[0]  # U[k, k] is the first stored entry
+            if pivot == 0.0:
+                raise ZeroDivisionError(f"zero pivot at row {k}")
+            mult = w / pivot
+            work[k] = mult
+            # subtract mult * U[k, k+1:]
+            for c, v in zip(ucols[1:], uvals[1:]):
+                c = int(c)
+                if c in work:
+                    work[c] -= mult * v
+                else:
+                    work[c] = -mult * v
+                    if c < i and c not in done:
+                        heapq.heappush(heap, c)
+        if work.get(i, 0.0) == 0.0:
+            raise ZeroDivisionError(f"zero pivot at row {i}")
+        lower = sorted(c for c in work if c < i)
+        upper = sorted(c for c in work if c >= i)
+        for c in lower:
+            l_i.append(i)
+            l_j.append(c)
+            l_v.append(work[c])
+        u_rows.append((
+            np.asarray(upper, dtype=np.int64),
+            np.asarray([work[c] for c in upper]),
+        ))
+
+    diag = np.arange(n, dtype=np.int64)
+    L = COOMatrix(
+        (n, n),
+        np.concatenate([np.asarray(l_i, dtype=np.int64), diag]),
+        np.concatenate([np.asarray(l_j, dtype=np.int64), diag]),
+        np.concatenate([np.asarray(l_v), np.ones(n)]),
+    ).to_csr()
+    ui, uj, uv = [], [], []
+    for i, (ucols, uvals) in enumerate(u_rows):
+        ui.append(np.full(ucols.size, i, dtype=np.int64))
+        uj.append(ucols)
+        uv.append(uvals)
+    U = COOMatrix(
+        (n, n), np.concatenate(ui), np.concatenate(uj), np.concatenate(uv)
+    ).to_csr()
+    return ReferenceLUResult(L=L, U=U)

@@ -1,0 +1,64 @@
+"""Synthetic matrix generators.
+
+The paper evaluates on SuiteSparse matrices (Tables 2 and 4 plus a
+200-matrix sweep).  Offline reproduction replaces them with deterministic
+synthetic generators that span the same structural axes — grid stencils,
+3-D FEM couplings, circuit/power-law graphs, banded random walks ("cage"),
+KKT saddle points, quantum-chemistry cluster matrices — at sizes a pure
+Python numeric phase can factorise.  Every generator returns a CSR matrix
+that is strictly row-diagonally dominant, so LU factorisation without
+pivoting is well defined (Schur complements of SDD matrices stay SDD).
+"""
+
+from repro.matrices.generators import (
+    poisson2d,
+    poisson3d,
+    anisotropic2d,
+    elasticity3d_like,
+    circuit_like,
+    cage_like,
+    kkt_like,
+    banded_random,
+    random_unsymmetric,
+    spd_random,
+    chemistry_like,
+    power_law_graph,
+    tridiagonal,
+    arrow_matrix,
+    make_diagonally_dominant,
+)
+from repro.matrices.paper import (
+    PAPER_MATRICES,
+    PaperMatrixInfo,
+    paper_matrix,
+    paper_matrix_info,
+    SCALE_UP_NAMES,
+    SCALE_OUT_NAMES,
+)
+from repro.matrices.suite import suite_collection, suite_kinds
+
+__all__ = [
+    "poisson2d",
+    "poisson3d",
+    "anisotropic2d",
+    "elasticity3d_like",
+    "circuit_like",
+    "cage_like",
+    "kkt_like",
+    "banded_random",
+    "random_unsymmetric",
+    "spd_random",
+    "chemistry_like",
+    "power_law_graph",
+    "tridiagonal",
+    "arrow_matrix",
+    "make_diagonally_dominant",
+    "PAPER_MATRICES",
+    "PaperMatrixInfo",
+    "paper_matrix",
+    "paper_matrix_info",
+    "SCALE_UP_NAMES",
+    "SCALE_OUT_NAMES",
+    "suite_collection",
+    "suite_kinds",
+]

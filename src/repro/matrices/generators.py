@@ -1,0 +1,358 @@
+"""Core structural generators.
+
+Each generator assembles COO triplets (vectorised stamping) and finishes
+through :func:`make_diagonally_dominant`, which rewrites the diagonal to
+``factor ×`` the off-diagonal row sum.  Strict row diagonal dominance makes
+Gaussian elimination without pivoting well-posed for every matrix this
+module emits — the same static-pivoting assumption SuperLU_DIST's GPU path
+relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse import COOMatrix, CSRMatrix, sparse_add
+
+
+def make_diagonally_dominant(a: CSRMatrix, factor: float = 2.0) -> CSRMatrix:
+    """Return a copy of ``a`` whose diagonal dominates each row.
+
+    The diagonal entry of row ``i`` is set to
+    ``factor * (sum_j |a_ij| , j != i) + 1`` (signed positive), leaving the
+    off-diagonal structure and values untouched.  ``factor > 1`` gives
+    strict dominance.
+    """
+    if a.nrows != a.ncols:
+        raise ValueError("diagonal dominance requires a square matrix")
+    n = a.nrows
+    rows = np.repeat(np.arange(n, dtype=np.int64), a.row_lengths())
+    off = rows != a.indices
+    offsum = np.bincount(rows[off], weights=np.abs(a.data[off]), minlength=n)
+    diag = factor * offsum + 1.0
+    coo = COOMatrix(
+        a.shape,
+        np.concatenate([rows[off], np.arange(n, dtype=np.int64)]),
+        np.concatenate([a.indices[off], np.arange(n, dtype=np.int64)]),
+        np.concatenate([a.data[off], diag]),
+    )
+    return coo.to_csr()
+
+
+def _finish(shape, rows, cols, vals, dominance: float) -> CSRMatrix:
+    coo = COOMatrix(shape, rows, cols, vals)
+    a = coo.to_csr()
+    return make_diagonally_dominant(a, dominance)
+
+
+def tridiagonal(n: int, dominance: float = 2.0) -> CSRMatrix:
+    """Simple tridiagonal system — the smallest sensible LU input."""
+    i = np.arange(n - 1, dtype=np.int64)
+    rows = np.concatenate([i, i + 1])
+    cols = np.concatenate([i + 1, i])
+    vals = np.full(2 * (n - 1), -1.0)
+    return _finish((n, n), rows, cols, vals, dominance)
+
+
+def poisson2d(nx: int, ny: int | None = None, dominance: float = 1.05) -> CSRMatrix:
+    """5-point Laplacian on an ``nx × ny`` grid (n = nx·ny).
+
+    The canonical PDE test matrix; moderate fill under nested dissection.
+    """
+    ny = nx if ny is None else ny
+    idx = np.arange(nx * ny, dtype=np.int64).reshape(nx, ny)
+    rows, cols = [], []
+    # horizontal neighbours
+    rows.append(idx[:, :-1].ravel()); cols.append(idx[:, 1:].ravel())
+    rows.append(idx[:, 1:].ravel()); cols.append(idx[:, :-1].ravel())
+    # vertical neighbours
+    rows.append(idx[:-1, :].ravel()); cols.append(idx[1:, :].ravel())
+    rows.append(idx[1:, :].ravel()); cols.append(idx[:-1, :].ravel())
+    rows = np.concatenate(rows)
+    cols = np.concatenate(cols)
+    vals = np.full(rows.size, -1.0)
+    return _finish((nx * ny, nx * ny), rows, cols, vals, dominance)
+
+
+def poisson3d(nx: int, ny: int | None = None, nz: int | None = None,
+              dominance: float = 1.05) -> CSRMatrix:
+    """7-point Laplacian on an ``nx × ny × nz`` grid — heavy fill workload."""
+    ny = nx if ny is None else ny
+    nz = nx if nz is None else nz
+    idx = np.arange(nx * ny * nz, dtype=np.int64).reshape(nx, ny, nz)
+    rows, cols = [], []
+    for axis in range(3):
+        lo = [slice(None)] * 3
+        hi = [slice(None)] * 3
+        lo[axis] = slice(None, -1)
+        hi[axis] = slice(1, None)
+        a = idx[tuple(lo)].ravel()
+        b = idx[tuple(hi)].ravel()
+        rows.extend([a, b]); cols.extend([b, a])
+    rows = np.concatenate(rows)
+    cols = np.concatenate(cols)
+    vals = np.full(rows.size, -1.0)
+    n = nx * ny * nz
+    return _finish((n, n), rows, cols, vals, dominance)
+
+
+def anisotropic2d(nx: int, ny: int | None = None, eps: float = 0.01,
+                  dominance: float = 1.05) -> CSRMatrix:
+    """Anisotropic diffusion: strong coupling along x, weak (``eps``) along y."""
+    ny = nx if ny is None else ny
+    idx = np.arange(nx * ny, dtype=np.int64).reshape(nx, ny)
+    rows, cols, vals = [], [], []
+    a, b = idx[:, :-1].ravel(), idx[:, 1:].ravel()
+    rows.extend([a, b]); cols.extend([b, a])
+    vals.append(np.full(2 * a.size, -1.0))
+    a, b = idx[:-1, :].ravel(), idx[1:, :].ravel()
+    rows.extend([a, b]); cols.extend([b, a])
+    vals.append(np.full(2 * a.size, -eps))
+    return _finish(
+        (nx * ny, nx * ny),
+        np.concatenate(rows), np.concatenate(cols), np.concatenate(vals),
+        dominance,
+    )
+
+
+def elasticity3d_like(nx: int, ny: int, nz: int, dofs: int = 3,
+                      seed: int = 0, dominance: float = 1.1) -> CSRMatrix:
+    """3-D FEM-elasticity-style matrix: ``dofs`` unknowns per grid node,
+    dense ``dofs × dofs`` coupling between neighbouring nodes.
+
+    Structural analogue of ``audikw_1`` / ``Serena`` (large 3-D solids with
+    vector unknowns and wide supernodes).
+    """
+    rng = np.random.default_rng(seed)
+    nodes = nx * ny * nz
+    idx = np.arange(nodes, dtype=np.int64).reshape(nx, ny, nz)
+    pr, pc = [], []
+    for axis in range(3):
+        lo = [slice(None)] * 3
+        hi = [slice(None)] * 3
+        lo[axis] = slice(None, -1)
+        hi[axis] = slice(1, None)
+        a = idx[tuple(lo)].ravel()
+        b = idx[tuple(hi)].ravel()
+        pr.extend([a, b]); pc.extend([b, a])
+    # self-coupling between dofs of one node
+    a = idx.ravel()
+    pr.append(a); pc.append(a)
+    pr = np.concatenate(pr)
+    pc = np.concatenate(pc)
+    # expand each node pair into a dofs×dofs block
+    di, dj = np.meshgrid(np.arange(dofs), np.arange(dofs), indexing="ij")
+    di = di.ravel(); dj = dj.ravel()
+    rows = (pr[:, None] * dofs + di[None, :]).ravel()
+    cols = (pc[:, None] * dofs + dj[None, :]).ravel()
+    vals = rng.standard_normal(rows.size) * 0.5 - 0.1
+    n = nodes * dofs
+    return _finish((n, n), rows, cols, vals, dominance)
+
+
+def circuit_like(n: int, avg_degree: float = 4.0, n_hubs: int | None = None,
+                 seed: int = 0, dominance: float = 1.5) -> CSRMatrix:
+    """Post-layout-circuit-style matrix: very sparse, unsymmetric structure,
+    a few dense rows/columns (supply nets / hubs).
+
+    Analogue of the circuit and optimisation matrices (``c-71``-like) whose
+    tiny supernodes stress SuperLU's scheduling overhead.
+    """
+    rng = np.random.default_rng(seed)
+    n_hubs = max(1, n // 200) if n_hubs is None else n_hubs
+    m = int(n * avg_degree)
+    rows = rng.integers(0, n, size=m)
+    cols = rng.integers(0, n, size=m)
+    vals = rng.standard_normal(m)
+    # local banded coupling (circuits are mostly near-diagonal after
+    # ordering)
+    band = rng.integers(1, 6, size=n - 6)
+    i = np.arange(n - 6, dtype=np.int64)
+    rows = np.concatenate([rows, i, i + band])
+    cols = np.concatenate([cols, i + band, i])
+    vals = np.concatenate([vals, rng.standard_normal(2 * (n - 6)) * 0.3])
+    # hubs: dense rows and columns
+    hubs = rng.choice(n, size=n_hubs, replace=False)
+    for h in hubs:
+        touch = rng.choice(n, size=max(8, n // 8), replace=False)
+        rows = np.concatenate([rows, np.full(touch.size, h), touch])
+        cols = np.concatenate([cols, touch, np.full(touch.size, h)])
+        vals = np.concatenate([vals, rng.standard_normal(2 * touch.size) * 0.1])
+    return _finish((n, n), rows, cols, vals, dominance)
+
+
+def cage_like(n: int, bandwidth: int = 12, extra_density: float = 2.0,
+              seed: int = 0, dominance: float = 1.2) -> CSRMatrix:
+    """DNA-electrophoresis ("cage") style matrix: a stochastic-matrix-like
+    band plus scattered off-band transitions.
+
+    Analogue of ``cage12`` / ``cage13`` — many off-diagonal nonzeros that
+    enable wide task aggregation (paper §4.2 singles cage12 out for this).
+    """
+    rng = np.random.default_rng(seed)
+    rows, cols, vals = [], [], []
+    i = np.arange(n, dtype=np.int64)
+    for off in range(1, bandwidth + 1):
+        keep = rng.random(n - off) < (1.0 / np.sqrt(off))
+        a = i[: n - off][keep]
+        rows.extend([a, a + off]); cols.extend([a + off, a])
+        v = rng.random(2 * a.size) * 0.5 + 0.1
+        vals.append(v)
+    m = int(n * extra_density)
+    r = rng.integers(0, n, size=m)
+    shift = rng.integers(-n // 4, n // 4, size=m)
+    c = np.clip(r + shift, 0, n - 1)
+    rows.append(r); cols.append(c)
+    vals.append(rng.random(m) * 0.3 + 0.05)
+    return _finish(
+        (n, n),
+        np.concatenate(rows), np.concatenate(cols), np.concatenate(vals),
+        dominance,
+    )
+
+
+def kkt_like(n_primal: int, n_dual: int | None = None, seed: int = 0,
+             dominance: float = 1.2) -> CSRMatrix:
+    """KKT saddle-point structure ``[[H, Bᵀ], [B, C]]``.
+
+    Analogue of ``nlpkkt80`` (interior-point optimisation).  The (2,2)
+    block is regularised and the whole matrix made row-dominant so the
+    pivot-free numeric path applies.
+    """
+    rng = np.random.default_rng(seed)
+    n_dual = n_primal // 2 if n_dual is None else n_dual
+    n = n_primal + n_dual
+    # H: 1-D Laplacian coupling among primals
+    i = np.arange(n_primal - 1, dtype=np.int64)
+    rows = [i, i + 1]
+    cols = [i + 1, i]
+    vals = [np.full(n_primal - 1, -1.0), np.full(n_primal - 1, -1.0)]
+    # B: each dual constrains ~3 primals
+    per = 3
+    d = np.repeat(np.arange(n_dual, dtype=np.int64), per)
+    p = rng.integers(0, n_primal, size=n_dual * per)
+    rows.extend([n_primal + d, p])
+    cols.extend([p, n_primal + d])
+    bv = rng.standard_normal(n_dual * per)
+    vals.extend([bv, bv])
+    return _finish(
+        (n, n),
+        np.concatenate(rows), np.concatenate(cols), np.concatenate(vals),
+        dominance,
+    )
+
+
+def banded_random(n: int, bandwidth: int, density: float = 0.5, seed: int = 0,
+                  dominance: float = 1.2) -> CSRMatrix:
+    """Random matrix confined to a band — ``para-8`` / ``Lin`` style
+    semiconductor-device structure."""
+    rng = np.random.default_rng(seed)
+    rows, cols = [], []
+    i = np.arange(n, dtype=np.int64)
+    for off in range(1, bandwidth + 1):
+        keep = rng.random(n - off) < density
+        a = i[: n - off][keep]
+        rows.extend([a, a + off])
+        cols.extend([a + off, a])
+    rows = np.concatenate(rows)
+    cols = np.concatenate(cols)
+    vals = rng.standard_normal(rows.size)
+    return _finish((n, n), rows, cols, vals, dominance)
+
+
+def random_unsymmetric(n: int, density: float = 0.01, seed: int = 0,
+                       dominance: float = 1.5) -> CSRMatrix:
+    """Uniformly random unsymmetric structure (stress test, no geometry)."""
+    rng = np.random.default_rng(seed)
+    m = max(n, int(n * n * density))
+    rows = rng.integers(0, n, size=m)
+    cols = rng.integers(0, n, size=m)
+    vals = rng.standard_normal(m)
+    return _finish((n, n), rows, cols, vals, dominance)
+
+
+def chemistry_like(n: int, cluster: int = 24, coupling: float = 0.15,
+                   seed: int = 0, dominance: float = 1.1) -> CSRMatrix:
+    """Quantum-chemistry style matrix: dense diagonal clusters (orbitals of
+    one atom group) plus sparse inter-cluster coupling.
+
+    Analogue of ``Ga41As41H72`` / ``Si41Ge41H72`` — dense-ish rows, very
+    large fill, wide parallel DAG levels.
+    """
+    rng = np.random.default_rng(seed)
+    rows, cols, vals = [], [], []
+    starts = np.arange(0, n, cluster, dtype=np.int64)
+    for s in starts:
+        e = min(s + cluster, n)
+        size = e - s
+        di, dj = np.meshgrid(np.arange(size), np.arange(size), indexing="ij")
+        keep = di.ravel() != dj.ravel()
+        rows.append(s + di.ravel()[keep])
+        cols.append(s + dj.ravel()[keep])
+        vals.append(rng.standard_normal(keep.sum()) * 0.2)
+    # inter-cluster sparse coupling
+    m = int(n * n * coupling / cluster)
+    r = rng.integers(0, n, size=m)
+    c = rng.integers(0, n, size=m)
+    rows.append(r); cols.append(c)
+    vals.append(rng.standard_normal(m) * 0.05)
+    return _finish(
+        (n, n),
+        np.concatenate(rows), np.concatenate(cols), np.concatenate(vals),
+        dominance,
+    )
+
+
+def power_law_graph(n: int, edges_per_node: int = 3, seed: int = 0,
+                    dominance: float = 1.5) -> CSRMatrix:
+    """Preferential-attachment graph Laplacian-like matrix (web/social
+    structure — highly irregular degree distribution)."""
+    rng = np.random.default_rng(seed)
+    targets = [0, 1]
+    rows, cols = [0], [1]
+    for v in range(2, n):
+        # preferential attachment: sample from the accumulated endpoint list
+        pick = rng.integers(0, len(targets), size=min(edges_per_node, v))
+        for t in {targets[p] for p in pick}:
+            rows.append(v); cols.append(t)
+            targets.extend([v, t])
+    rows = np.asarray(rows, dtype=np.int64)
+    cols = np.asarray(cols, dtype=np.int64)
+    rows2 = np.concatenate([rows, cols])
+    cols2 = np.concatenate([cols, rows])
+    vals = rng.standard_normal(rows2.size)
+    return _finish((n, n), rows2, cols2, vals, dominance)
+
+
+def spd_random(n: int, density: float = 0.05, seed: int = 0,
+               dominance: float = 1.2) -> CSRMatrix:
+    """Random symmetric positive-definite matrix (for the Cholesky
+    substrate): symmetrised random structure made strictly diagonally
+    dominant with a positive diagonal — a standard SPD construction."""
+    rng = np.random.default_rng(seed)
+    m = max(n, int(n * n * density / 2))
+    r = rng.integers(0, n, size=m)
+    c = rng.integers(0, n, size=m)
+    v = rng.standard_normal(m)
+    rows = np.concatenate([r, c])
+    cols = np.concatenate([c, r])
+    vals = np.concatenate([v, v])
+    return _finish((n, n), rows, cols, vals, dominance)
+
+
+def arrow_matrix(n: int, arms: int = 1, seed: int = 0,
+                 dominance: float = 2.0) -> CSRMatrix:
+    """Arrowhead matrix: dense last ``arms`` row(s)/column(s) over a
+    diagonal body.  Pathological fill case for bad orderings, trivial for
+    good ones — exercises the ordering phase."""
+    rng = np.random.default_rng(seed)
+    rows, cols = [], []
+    body = np.arange(n - arms, dtype=np.int64)
+    for a in range(arms):
+        tip = n - 1 - a
+        rows.extend([np.full(body.size, tip), body])
+        cols.extend([body, np.full(body.size, tip)])
+    rows = np.concatenate(rows)
+    cols = np.concatenate(cols)
+    vals = rng.standard_normal(rows.size) * 0.2
+    return _finish((n, n), rows, cols, vals, dominance)

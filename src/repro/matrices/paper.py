@@ -1,0 +1,140 @@
+"""Named analogues of the paper's evaluation matrices (Tables 2 and 4).
+
+Each entry records the paper's reported properties (n, nnz, nnz(L+U) for
+both solvers) and maps to a synthetic generator reproducing the matrix's
+structural character at a Python-tractable size.  ``scale`` multiplies the
+default analogue dimension (1.0 ≈ n of 600–1300).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.sparse import CSRMatrix
+from repro.matrices import generators as g
+
+
+@dataclass(frozen=True)
+class PaperMatrixInfo:
+    """Metadata for one paper matrix and its synthetic analogue.
+
+    Attributes
+    ----------
+    name:
+        SuiteSparse name as used in the paper.
+    group:
+        Which evaluation it appears in (``"scale-up"`` or ``"scale-out"``).
+    paper_n, paper_nnz:
+        Dimensions reported in Table 2 / Table 4.
+    paper_lu_superlu, paper_lu_pangulu:
+        nnz(L+U) reported for the two solvers (entries, as printed).
+    kind:
+        Short structural description of the analogue generator.
+    builder:
+        ``builder(scale) -> CSRMatrix``.
+    """
+
+    name: str
+    group: str
+    paper_n: float
+    paper_nnz: float
+    paper_lu_superlu: float
+    paper_lu_pangulu: float
+    kind: str
+    builder: Callable[[float], CSRMatrix]
+
+
+def _sz(base: int, scale: float) -> int:
+    return max(24, int(round(base * scale)))
+
+
+def _dim(base: int, scale: float) -> int:
+    """Per-axis size for grid analogues (small floor, scales with ∛scale)."""
+    return max(3, int(round(base * scale)))
+
+
+PAPER_MATRICES: dict[str, PaperMatrixInfo] = {
+    # ---------------- scale-up set (Table 2) ----------------
+    "c-71": PaperMatrixInfo(
+        "c-71", "scale-up", 76.6e3, 860e3, 49.4e6, 24.9e6,
+        "optimisation/circuit: sparse + hub rows",
+        lambda s: g.circuit_like(_sz(600, s), avg_degree=4.0, seed=71),
+    ),
+    "cage12": PaperMatrixInfo(
+        "cage12", "scale-up", 130e3, 2.03e6, 550e6, 537e6,
+        "DNA random-walk band with off-band transitions",
+        lambda s: g.cage_like(_sz(760, s), bandwidth=14, seed=12),
+    ),
+    "para-8": PaperMatrixInfo(
+        "para-8", "scale-up", 156e3, 2.09e6, 187e6, 178e6,
+        "semiconductor device: banded random",
+        lambda s: g.banded_random(_sz(700, s), bandwidth=10, density=0.6, seed=8),
+    ),
+    "Lin": PaperMatrixInfo(
+        "Lin", "scale-up", 256e3, 1.77e6, 216e6, 194e6,
+        "structured 3-D grid (electronic structure)",
+        lambda s: g.poisson3d(_dim(9, s ** (1 / 3)), _dim(9, s ** (1 / 3)),
+                              _dim(10, s ** (1 / 3))),
+    ),
+    # ---------------- scale-out set (Table 4) ----------------
+    "Ga41As41H72": PaperMatrixInfo(
+        "Ga41As41H72", "scale-out", 268e3, 18.5e6, 4.61e9, 4.59e9,
+        "quantum chemistry: dense clusters + coupling",
+        lambda s: g.chemistry_like(_sz(900, s), cluster=30, seed=41),
+    ),
+    "RM07R": PaperMatrixInfo(
+        "RM07R", "scale-out", 381e3, 37.4e6, 2.68e9, 2.14e9,
+        "CFD: banded with dense-ish coupling",
+        lambda s: g.banded_random(_sz(840, s), bandwidth=18, density=0.7, seed=7),
+    ),
+    "cage13": PaperMatrixInfo(
+        "cage13", "scale-out", 445e3, 7.48e6, 4.68e9, 4.66e9,
+        "DNA random-walk band (larger)",
+        lambda s: g.cage_like(_sz(1000, s), bandwidth=16, seed=13),
+    ),
+    "audikw_1": PaperMatrixInfo(
+        "audikw_1", "scale-out", 943e3, 77.6e6, 2.46e9, 2.43e9,
+        "3-D FEM elasticity, 3 dofs/node",
+        lambda s: g.elasticity3d_like(_dim(7, s ** (1 / 3)), _dim(7, s ** (1 / 3)),
+                                      _dim(8, s ** (1 / 3)), dofs=3, seed=1),
+    ),
+    "nlpkkt80": PaperMatrixInfo(
+        "nlpkkt80", "scale-out", 1.06e6, 28.1e6, 3.80e9, 3.28e9,
+        "interior-point KKT saddle point",
+        lambda s: g.kkt_like(_sz(720, s), seed=80),
+    ),
+    "Serena": PaperMatrixInfo(
+        "Serena", "scale-out", 1.39e6, 64.1e6, 5.42e9, 5.38e9,
+        "3-D FEM (gas reservoir), vector unknowns",
+        lambda s: g.elasticity3d_like(_dim(8, s ** (1 / 3)), _dim(8, s ** (1 / 3)),
+                                      _dim(7, s ** (1 / 3)), dofs=3, seed=2),
+    ),
+}
+
+SCALE_UP_NAMES = ["c-71", "cage12", "para-8", "Lin"]
+SCALE_OUT_NAMES = ["Ga41As41H72", "RM07R", "cage13", "audikw_1", "nlpkkt80", "Serena"]
+
+
+def paper_matrix(name: str, scale: float = 1.0) -> CSRMatrix:
+    """Build the synthetic analogue of a paper matrix.
+
+    Parameters
+    ----------
+    name:
+        One of the Table 2 / Table 4 names (see :data:`PAPER_MATRICES`).
+    scale:
+        Size multiplier; 1.0 gives the default analogue dimension.
+    """
+    try:
+        info = PAPER_MATRICES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown paper matrix {name!r}; choose from {sorted(PAPER_MATRICES)}"
+        ) from None
+    return info.builder(scale)
+
+
+def paper_matrix_info(name: str) -> PaperMatrixInfo:
+    """Metadata record for a paper matrix (paper-reported sizes etc.)."""
+    return PAPER_MATRICES[name]

@@ -1,0 +1,126 @@
+"""The 200-matrix / 31-kind synthetic collection for the Figure-10 sweep.
+
+The paper evaluates 200 SuiteSparse matrices drawn from 31 application
+kinds.  This module generates a deterministic collection with the same
+cardinality: 31 parameterised generator families ("kinds"), each sampled
+with varying sizes/densities/seeds until 200 matrices are produced.  Sizes
+are kept small (n ≈ 120–700) so the whole sweep factorises in minutes in
+pure Python while still spanning the structural axes that drive Trojan
+Horse gains (task size, fill ratio, DAG width).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sparse import CSRMatrix
+from repro.matrices import generators as g
+
+
+@dataclass(frozen=True)
+class SuiteEntry:
+    """One matrix of the synthetic collection."""
+
+    name: str
+    kind: str
+    matrix: CSRMatrix
+
+
+def _k(fn, label):
+    return (label, fn)
+
+
+# 31 kinds: (label, builder(size, seed) -> CSRMatrix).  The labels mirror
+# SuiteSparse's application-domain taxonomy.
+_KINDS: list[tuple[str, object]] = [
+    _k(lambda n, s: g.poisson2d(max(8, int(n ** 0.5))), "2D/3D PDE (5-pt)"),
+    _k(lambda n, s: g.poisson3d(max(4, int(n ** (1 / 3)))), "2D/3D PDE (7-pt)"),
+    _k(lambda n, s: g.anisotropic2d(max(8, int(n ** 0.5)), eps=0.01), "anisotropic diffusion"),
+    _k(lambda n, s: g.anisotropic2d(max(8, int(n ** 0.5)), eps=0.2), "mild anisotropy"),
+    _k(lambda n, s: g.elasticity3d_like(
+        max(3, int((n / 3) ** (1 / 3))), max(3, int((n / 3) ** (1 / 3))),
+        max(3, int((n / 3) ** (1 / 3))), dofs=3, seed=s), "structural FEM 3dof"),
+    _k(lambda n, s: g.elasticity3d_like(
+        max(3, int((n / 2) ** (1 / 3))), max(3, int((n / 2) ** (1 / 3))),
+        max(3, int((n / 2) ** (1 / 3))), dofs=2, seed=s), "structural FEM 2dof"),
+    _k(lambda n, s: g.circuit_like(n, avg_degree=3.0, seed=s), "circuit simulation"),
+    _k(lambda n, s: g.circuit_like(n, avg_degree=6.0, seed=s), "post-layout circuit"),
+    _k(lambda n, s: g.circuit_like(n, avg_degree=4.0, n_hubs=max(2, n // 60), seed=s),
+       "power network"),
+    _k(lambda n, s: g.cage_like(n, bandwidth=8, seed=s), "electrophoresis (narrow)"),
+    _k(lambda n, s: g.cage_like(n, bandwidth=16, seed=s), "electrophoresis (wide)"),
+    _k(lambda n, s: g.kkt_like(max(16, 2 * n // 3), seed=s), "optimisation KKT"),
+    _k(lambda n, s: g.kkt_like(max(16, 2 * n // 3), n_dual=max(8, n // 5), seed=s),
+       "linear programming"),
+    _k(lambda n, s: g.banded_random(n, bandwidth=6, density=0.5, seed=s),
+       "semiconductor device"),
+    _k(lambda n, s: g.banded_random(n, bandwidth=12, density=0.7, seed=s),
+       "CFD (banded)"),
+    _k(lambda n, s: g.banded_random(n, bandwidth=20, density=0.4, seed=s),
+       "CFD (wide band)"),
+    _k(lambda n, s: g.random_unsymmetric(n, density=4.0 / n, seed=s),
+       "random graph"),
+    _k(lambda n, s: g.random_unsymmetric(n, density=10.0 / n, seed=s),
+       "random (denser)"),
+    _k(lambda n, s: g.chemistry_like(n, cluster=16, seed=s),
+       "quantum chemistry (small clusters)"),
+    _k(lambda n, s: g.chemistry_like(n, cluster=32, seed=s),
+       "quantum chemistry (large clusters)"),
+    _k(lambda n, s: g.power_law_graph(n, edges_per_node=2, seed=s), "web graph"),
+    _k(lambda n, s: g.power_law_graph(n, edges_per_node=4, seed=s), "social network"),
+    _k(lambda n, s: g.tridiagonal(n), "1-D chain"),
+    _k(lambda n, s: g.arrow_matrix(n, arms=1, seed=s), "arrowhead (1 arm)"),
+    _k(lambda n, s: g.arrow_matrix(n, arms=4, seed=s), "arrowhead (4 arms)"),
+    _k(lambda n, s: g.poisson2d(max(8, int((2 * n) ** 0.5)), max(4, int((n / 2) ** 0.5))),
+       "stretched grid"),
+    _k(lambda n, s: g.banded_random(n, bandwidth=3, density=0.9, seed=s),
+       "chemical kinetics"),
+    _k(lambda n, s: g.cage_like(n, bandwidth=10, extra_density=4.0, seed=s),
+       "economics (dense transitions)"),
+    _k(lambda n, s: g.circuit_like(n, avg_degree=2.5, n_hubs=1, seed=s),
+       "memory circuit"),
+    _k(lambda n, s: g.chemistry_like(n, cluster=24, coupling=0.05, seed=s),
+       "materials (weak coupling)"),
+    _k(lambda n, s: g.elasticity3d_like(
+        max(2, int((n / 6) ** (1 / 3))), max(2, int((n / 6) ** (1 / 3))),
+        max(3, int((n / 6) ** (1 / 3))), dofs=6, seed=s), "shell elements 6dof"),
+]
+
+
+def suite_kinds() -> list[str]:
+    """The 31 kind labels of the synthetic collection."""
+    return [label for label, _ in _KINDS]
+
+
+def suite_collection(count: int = 200, base_size: int = 300,
+                     seed: int = 2026) -> list[SuiteEntry]:
+    """Generate the deterministic ``count``-matrix collection.
+
+    Kinds are cycled round-robin; successive visits to a kind vary the
+    target size over roughly [0.4×, 2.3×] ``base_size`` and advance the
+    generator seed, so no two entries are identical.
+
+    Parameters
+    ----------
+    count:
+        Number of matrices (paper: 200).
+    base_size:
+        Nominal n around which sizes are varied.
+    seed:
+        Base seed; the collection is fully reproducible.
+    """
+    entries: list[SuiteEntry] = []
+    visit = 0
+    while len(entries) < count:
+        label, builder = _KINDS[visit % len(_KINDS)]
+        round_no = visit // len(_KINDS)
+        # deterministic size ladder per round: 0.4x, 0.8x, 1.3x, 1.8x, 2.3x...
+        size = int(base_size * (0.4 + 0.47 * round_no))
+        size = max(60, size)
+        mat = builder(size, seed + visit)
+        entries.append(
+            SuiteEntry(name=f"{label.replace(' ', '_')}_{round_no}", kind=label,
+                       matrix=mat)
+        )
+        visit += 1
+    return entries

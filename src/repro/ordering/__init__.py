@@ -1,0 +1,32 @@
+"""Fill-reducing orderings — the "reordering" phase of Figure 1.
+
+Three orderings are provided, mirroring the options real solvers expose:
+
+* :func:`rcm` — reverse Cuthill–McKee bandwidth reduction;
+* :func:`minimum_degree` — greedy minimum-degree on the elimination graph
+  (the algorithmic core of AMD, reference [7] of the paper);
+* :func:`nested_dissection` — recursive separator ordering (the
+  METIS/ParMETIS role in the paper's pipeline).
+
+All operate on the symmetrised pattern of the input and return a
+permutation in "new ← old" gather convention (see
+:mod:`repro.sparse.permute`).
+"""
+
+from repro.ordering.graph import adjacency_from_pattern, pseudo_peripheral_node
+from repro.ordering.rcm import rcm
+from repro.ordering.mindeg import minimum_degree
+from repro.ordering.dissection import nested_dissection
+from repro.ordering.staticpivot import static_pivot_permutation
+from repro.ordering.driver import compute_ordering, ORDERING_METHODS
+
+__all__ = [
+    "adjacency_from_pattern",
+    "pseudo_peripheral_node",
+    "rcm",
+    "minimum_degree",
+    "nested_dissection",
+    "static_pivot_permutation",
+    "compute_ordering",
+    "ORDERING_METHODS",
+]

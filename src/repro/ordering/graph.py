@@ -1,0 +1,114 @@
+"""Graph utilities shared by the orderings.
+
+The adjacency structure of a square sparse matrix is its symmetrised
+pattern with the diagonal removed, stored as CSR-style ``(indptr,
+indices)`` arrays for cache-friendly BFS sweeps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse import CSRMatrix
+
+
+def adjacency_from_pattern(a: CSRMatrix) -> tuple[np.ndarray, np.ndarray]:
+    """Adjacency ``(indptr, indices)`` of the symmetrised, diagonal-free
+    pattern of a square matrix."""
+    if a.nrows != a.ncols:
+        raise ValueError("adjacency requires a square matrix")
+    s = a.pattern_symmetrized()
+    rows = np.repeat(np.arange(s.nrows, dtype=np.int64), s.row_lengths())
+    keep = rows != s.indices
+    rows = rows[keep]
+    cols = s.indices[keep]
+    indptr = np.zeros(a.nrows + 1, dtype=np.int64)
+    np.add.at(indptr, rows + 1, 1)
+    np.cumsum(indptr, out=indptr)
+    return indptr, cols
+
+
+def bfs_levels(indptr: np.ndarray, indices: np.ndarray, start: int,
+               mask: np.ndarray | None = None) -> tuple[np.ndarray, list[np.ndarray]]:
+    """Breadth-first level structure from ``start``.
+
+    Parameters
+    ----------
+    indptr, indices:
+        Adjacency arrays.
+    start:
+        Root vertex.
+    mask:
+        Optional boolean array; ``False`` vertices are invisible (used by
+        nested dissection to restrict BFS to a subgraph).
+
+    Returns
+    -------
+    (level, fronts):
+        ``level[v]`` is the BFS distance (−1 if unreached) and ``fronts``
+        lists the vertex arrays of each level.
+    """
+    n = indptr.size - 1
+    level = np.full(n, -1, dtype=np.int64)
+    if mask is not None and not mask[start]:
+        raise ValueError("BFS start vertex is masked out")
+    level[start] = 0
+    frontier = np.asarray([start], dtype=np.int64)
+    fronts = [frontier]
+    d = 0
+    while frontier.size:
+        nxt = []
+        for v in frontier:
+            nbrs = indices[indptr[v]:indptr[v + 1]]
+            for u in nbrs:
+                if level[u] == -1 and (mask is None or mask[u]):
+                    level[u] = d + 1
+                    nxt.append(u)
+        frontier = np.asarray(nxt, dtype=np.int64)
+        if frontier.size:
+            fronts.append(frontier)
+        d += 1
+    return level, fronts
+
+
+def pseudo_peripheral_node(indptr: np.ndarray, indices: np.ndarray,
+                           start: int = 0,
+                           mask: np.ndarray | None = None) -> int:
+    """Find a vertex of (near-)maximal eccentricity by repeated BFS.
+
+    Standard George–Liu heuristic: walk to a minimum-degree vertex of the
+    last BFS level until the eccentricity stops growing.
+    """
+    degree = np.diff(indptr)
+    node = start
+    _, fronts = bfs_levels(indptr, indices, node, mask)
+    ecc = len(fronts) - 1
+    while True:
+        last = fronts[-1]
+        node2 = int(last[np.argmin(degree[last])])
+        _, fronts2 = bfs_levels(indptr, indices, node2, mask)
+        ecc2 = len(fronts2) - 1
+        if ecc2 <= ecc:
+            return node
+        node, ecc, fronts = node2, ecc2, fronts2
+
+
+def connected_components(indptr: np.ndarray, indices: np.ndarray,
+                         mask: np.ndarray | None = None) -> list[np.ndarray]:
+    """Connected components of the (optionally masked) graph."""
+    n = indptr.size - 1
+    seen = np.zeros(n, dtype=bool)
+    if mask is not None:
+        seen |= ~mask
+    comps = []
+    for v in range(n):
+        if seen[v]:
+            continue
+        level, fronts = bfs_levels(indptr, indices, v,
+                                   mask=None if mask is None else mask)
+        comp = np.flatnonzero(level >= 0)
+        # bfs_levels ignores `seen`; restrict to genuinely new vertices
+        comp = comp[~seen[comp]]
+        seen[comp] = True
+        comps.append(comp)
+    return comps

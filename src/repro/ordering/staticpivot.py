@@ -1,0 +1,90 @@
+"""Static pivoting: row permutation for a strong diagonal.
+
+SuperLU_DIST's GPU path replaces partial pivoting with *static pivoting*:
+a row permutation computed once, before the numeric phase, that places
+large entries on the diagonal (the role MC64 plays in the real pipeline).
+This module implements the MC64 "maximise the product of diagonal
+magnitudes" objective (option 4) as a maximum-weight bipartite matching
+on log-magnitudes, solved with the classic O(n³) Hungarian algorithm
+(potentials + column minima), inner loop vectorised.
+
+The returned permutation ``rowperm`` satisfies: row ``rowperm[i]`` of the
+original matrix becomes row ``i``, i.e. apply with
+``permute_rows(a, rowperm)``; the permuted matrix has a structurally full
+and magnitudally strong diagonal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse import CSRMatrix
+
+#: Cost standing in for "no structural entry" — any matching that uses
+#: such an edge is evidence of structural singularity.
+_FORBIDDEN = 1e30
+
+
+def static_pivot_permutation(a: CSRMatrix) -> np.ndarray:
+    """Row permutation maximising the product of diagonal magnitudes.
+
+    Exact optimum (verified against ``scipy.optimize`` in the tests);
+    raises ``ValueError`` for structurally singular matrices.
+    """
+    if a.nrows != a.ncols:
+        raise ValueError("static pivoting requires a square matrix")
+    n = a.nrows
+    if a.nnz == 0:
+        raise ValueError("matrix is structurally singular (empty)")
+
+    # dense cost matrix: minimise −log|a_ij|
+    cost = np.full((n, n), _FORBIDDEN)
+    rows = np.repeat(np.arange(n, dtype=np.int64), a.row_lengths())
+    nz = a.data != 0
+    cost[rows[nz], a.indices[nz]] = -np.log(np.abs(a.data[nz]))
+
+    # Hungarian algorithm (e-maxx formulation, 1-indexed buffers)
+    INF = np.inf
+    u = np.zeros(n + 1)
+    v = np.zeros(n + 1)
+    p = np.zeros(n + 1, dtype=np.int64)   # p[j] = row matched to column j
+    way = np.zeros(n + 1, dtype=np.int64)
+    for i in range(1, n + 1):
+        p[0] = i
+        j0 = 0
+        minv = np.full(n + 1, INF)
+        used = np.zeros(n + 1, dtype=bool)
+        while True:
+            used[j0] = True
+            i0 = p[j0]
+            # vectorised relaxation over unused columns
+            free = ~used[1:]
+            cur = cost[i0 - 1, :] - u[i0] - v[1:]
+            better = free & (cur < minv[1:])
+            minv[1:][better] = cur[better]
+            way[1:][better] = j0
+            masked = np.where(free, minv[1:], INF)
+            j1 = int(np.argmin(masked)) + 1
+            delta = masked[j1 - 1]
+            if not np.isfinite(delta):
+                raise ValueError("matrix is structurally singular")
+            u[p[used]] += delta
+            v[used] -= delta
+            minv[~used] -= delta
+            j0 = j1
+            if p[j0] == 0:
+                break
+        # augment along the recorded path
+        while j0:
+            j1 = int(way[j0])
+            p[j0] = p[j1]
+            j0 = j1
+
+    # column j is matched to original row p[j]−1: that row becomes row j−1
+    rowperm = p[1:] - 1
+    if not np.array_equal(np.sort(rowperm), np.arange(n)):
+        raise AssertionError("matching did not produce a permutation")
+    # reject matchings forced through structurally-absent entries
+    if np.any(cost[rowperm, np.arange(n)] >= _FORBIDDEN / 2):
+        raise ValueError("matrix is structurally singular")
+    return rowperm

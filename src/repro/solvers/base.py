@@ -1,0 +1,156 @@
+"""Shared front-end machinery for the solver substrates."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.baselines import make_scheduler
+from repro.gpusim.costmodel import GPUCostModel
+from repro.gpusim.specs import GPUSpec, RTX5090
+from repro.ordering import compute_ordering
+from repro.solvers.engine import (
+    FactorizationResult,
+    NumericBackend,
+    NumericEngine,
+)
+from repro.sparse import CSRMatrix, permute_symmetric
+from repro.sparse.blocking import Partition
+
+
+class BlockSolverBase:
+    """Template for the GPU solver substrates.
+
+    Subclasses define :meth:`_build_partition` (supernodal vs uniform) and
+    the defaults (`tile sparsity`, baseline scheduler name).
+
+    Parameters
+    ----------
+    a:
+        The system matrix.
+    ordering:
+        Fill-reducing ordering name (see
+        :data:`repro.ordering.ORDERING_METHODS`).
+    gpu:
+        Simulated device (default RTX 5090, the paper's Figure-8 card).
+    scheduler:
+        Scheduling policy: the substrate's baseline, ``"trojan"`` for the
+        paper's strategy, ``"streams"``/``"levelbatch"`` for ablations.
+    """
+
+    solver_name = "block-lu"
+    sparse_tiles = False
+    default_scheduler = "serial"
+
+    def __init__(self, a: CSRMatrix, ordering: str = "mindeg",
+                 gpu: GPUSpec = RTX5090, scheduler: str | None = None,
+                 **sched_kwargs):
+        self.a = a
+        self.ordering = ordering
+        self.gpu = gpu
+        self.scheduler = scheduler or self.default_scheduler
+        self.sched_kwargs = sched_kwargs
+        self.result: FactorizationResult | None = None
+
+    # ------------------------------------------------------------------
+    def _build_partition(self, permuted: CSRMatrix):
+        """Return ``(partition, fill_or_None)``.
+
+        Substrates that already ran the element-level symbolic analysis
+        (the supernodal one) hand the fill to the engine so it is not
+        recomputed.
+        """
+        raise NotImplementedError
+
+    def _make_scheduler(self, dag, backend, model):
+        """Instantiate the scheduling policy (hook for substrates with
+        policies outside the generic factory, e.g. PaStiX's dmdas)."""
+        return make_scheduler(self.scheduler, dag, backend, model,
+                              **self.sched_kwargs)
+
+    def _prepare_schedule(self, engine, backend):
+        """Optionally rewrite the DAG before scheduling (hook for the
+        SuperLU §3.5.1 Schur-fusion integration).  Returns the DAG and
+        backend the scheduler should use."""
+        return engine.dag, backend
+
+    # ------------------------------------------------------------------
+    def factorize(self) -> FactorizationResult:
+        """Run all three phases (Figure 1) and return the result.
+
+        Reordering and symbolic run on the "CPU" (measured wall-clock);
+        the numeric phase executes real tile arithmetic while the
+        scheduler records the simulated GPU timeline.
+        """
+        t0 = time.perf_counter()
+        perm = compute_ordering(self.a, self.ordering)
+        permuted = permute_symmetric(self.a, perm)
+        t1 = time.perf_counter()
+        part, fill = self._build_partition(permuted)
+        engine = NumericEngine(permuted, part, sparse_tiles=self.sparse_tiles,
+                               fill=fill)
+        self._engine = engine
+        self._perm = perm
+        t2 = time.perf_counter()
+        backend = NumericBackend(engine)
+        model = GPUCostModel(self.gpu)
+        sched_dag, sched_backend = self._prepare_schedule(engine, backend)
+        schedule = self._make_scheduler(sched_dag, sched_backend, model).run()
+        L, U = engine.extract_factors()
+        t3 = time.perf_counter()
+        self.result = FactorizationResult(
+            solver=self.solver_name,
+            scheduler=self.scheduler,
+            L=L, U=U, perm=perm,
+            schedule=schedule,
+            dag=engine.dag,
+            stats=backend.stats,
+            fill_nnz=engine.fill.nnz_lu,
+            phase_seconds={
+                "reorder": t1 - t0,
+                "symbolic": t2 - t1,
+                "numeric": t3 - t2,
+            },
+        )
+        return self.result
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        """Solve ``A x = b`` (factorises on first use)."""
+        if self.result is None:
+            self.factorize()
+        return self.result.solve(b)
+
+    def refactorize(self, a_new: CSRMatrix) -> FactorizationResult:
+        """Numeric-only refactorisation for a same-pattern matrix.
+
+        Reuses the ordering, symbolic analysis, tile allocation and task
+        DAG of the previous :meth:`factorize` call — the KLU-style fast
+        path circuit simulators rely on (values change every Newton step,
+        structure never does).
+        """
+        if self.result is None:
+            raise RuntimeError("call factorize() before refactorize()")
+        t0 = time.perf_counter()
+        permuted = permute_symmetric(a_new, self._perm)
+        engine = self._engine
+        engine.reset_values(permuted)
+        backend = NumericBackend(engine)
+        model = GPUCostModel(self.gpu)
+        sched_dag, sched_backend = self._prepare_schedule(engine, backend)
+        schedule = self._make_scheduler(sched_dag, sched_backend, model).run()
+        L, U = engine.extract_factors()
+        t1 = time.perf_counter()
+        self.a = a_new
+        self.result = FactorizationResult(
+            solver=self.solver_name,
+            scheduler=self.scheduler,
+            L=L, U=U, perm=self._perm,
+            schedule=schedule,
+            dag=engine.dag,
+            stats=backend.stats,
+            fill_nnz=engine.fill.nnz_lu,
+            phase_seconds={"reorder": 0.0, "symbolic": 0.0,
+                           "numeric": t1 - t0},
+        )
+        return self.result

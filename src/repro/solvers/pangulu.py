@@ -1,0 +1,40 @@
+"""PanguLU-analogue substrate: regular 2-D sparse blocks.
+
+PanguLU keeps sparsity inside uniform tiles and executes relatively large
+sparse-block tasks one by one from a priority queue (paper §1, §3).  The
+baseline scheduler is therefore ``"serial"``; ``"streams"`` reproduces the
+four-CUDA-stream Executor-replacement ablation of §4, and ``"trojan"`` the
+integrated strategy of §3.5.2.
+"""
+
+from __future__ import annotations
+
+from repro.solvers.base import BlockSolverBase
+from repro.sparse import CSRMatrix
+from repro.sparse.blocking import uniform_partition
+
+
+class PanguLUSolver(BlockSolverBase):
+    """Uniform-block sparse-tile solver (PanguLU analogue).
+
+    Parameters
+    ----------
+    a:
+        System matrix.
+    block_size:
+        Tile size.  The paper tunes the real solver to 512; the scaled
+        default here is 64 (DESIGN.md §3).
+    """
+
+    solver_name = "pangulu"
+    sparse_tiles = True
+    default_scheduler = "serial"
+
+    def __init__(self, a: CSRMatrix, block_size: int = 64, **kwargs):
+        super().__init__(a, **kwargs)
+        if block_size <= 0:
+            raise ValueError("block_size must be positive")
+        self.block_size = block_size
+
+    def _build_partition(self, permuted: CSRMatrix):
+        return uniform_partition(permuted.nrows, self.block_size), None

@@ -1,0 +1,102 @@
+"""COO (coordinate / triplet) sparse matrix format.
+
+COO is the assembly format: generators and file readers produce unordered,
+possibly duplicated triplets, and :meth:`COOMatrix.to_csr` canonicalises
+them (sort by row then column, sum duplicates) into CSR.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class COOMatrix:
+    """A sparse matrix stored as ``(row, col, data)`` triplets.
+
+    Triplets may be unordered and may contain duplicates; duplicates are
+    summed on conversion to a compressed format, matching the usual finite
+    element / circuit "stamping" assembly convention.
+
+    Parameters
+    ----------
+    shape:
+        ``(nrows, ncols)`` of the matrix.
+    row, col:
+        Integer arrays of equal length with the coordinates of each entry.
+    data:
+        Float array of entry values, same length as ``row``/``col``.
+    """
+
+    __slots__ = ("shape", "row", "col", "data")
+
+    def __init__(self, shape, row, col, data):
+        self.shape = (int(shape[0]), int(shape[1]))
+        self.row = np.asarray(row, dtype=np.int64)
+        self.col = np.asarray(col, dtype=np.int64)
+        self.data = np.asarray(data, dtype=np.float64)
+        if not (self.row.shape == self.col.shape == self.data.shape):
+            raise ValueError("row, col and data must have identical shapes")
+        if self.row.ndim != 1:
+            raise ValueError("COO triplets must be one-dimensional arrays")
+        if self.row.size:
+            if self.row.min(initial=0) < 0 or self.col.min(initial=0) < 0:
+                raise ValueError("negative indices in COO triplets")
+            if self.row.max(initial=-1) >= self.shape[0]:
+                raise ValueError("row index out of range")
+            if self.col.max(initial=-1) >= self.shape[1]:
+                raise ValueError("column index out of range")
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored triplets (duplicates counted individually)."""
+        return int(self.data.size)
+
+    def to_csr(self):
+        """Canonicalise into :class:`~repro.sparse.csr.CSRMatrix`.
+
+        Entries are sorted by ``(row, col)`` and duplicate coordinates are
+        summed.  Explicit zeros produced by cancellation are kept (their
+        structural position is meaningful for symbolic analysis).
+        """
+        from repro.sparse.csr import CSRMatrix
+
+        m, n = self.shape
+        if self.nnz == 0:
+            return CSRMatrix(
+                self.shape,
+                np.zeros(m + 1, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.float64),
+            )
+        order = np.lexsort((self.col, self.row))
+        r = self.row[order]
+        c = self.col[order]
+        d = self.data[order]
+        # Collapse duplicates: "new group" wherever (r, c) changes.
+        new_group = np.empty(r.size, dtype=bool)
+        new_group[0] = True
+        new_group[1:] = (r[1:] != r[:-1]) | (c[1:] != c[:-1])
+        starts = np.flatnonzero(new_group)
+        data = np.add.reduceat(d, starts)
+        rows = r[starts]
+        cols = c[starts]
+        indptr = np.zeros(m + 1, dtype=np.int64)
+        np.add.at(indptr, rows + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        return CSRMatrix(self.shape, indptr, cols, data)
+
+    def to_dense(self) -> np.ndarray:
+        """Materialise as a dense ``float64`` array (duplicates summed)."""
+        out = np.zeros(self.shape, dtype=np.float64)
+        np.add.at(out, (self.row, self.col), self.data)
+        return out
+
+    @classmethod
+    def from_dense(cls, dense) -> "COOMatrix":
+        """Build a COO matrix from the nonzeros of a dense array."""
+        dense = np.asarray(dense, dtype=np.float64)
+        row, col = np.nonzero(dense)
+        return cls(dense.shape, row, col, dense[row, col])
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"COOMatrix(shape={self.shape}, nnz={self.nnz})"

@@ -1,0 +1,68 @@
+"""CSC (compressed sparse column) matrix.
+
+The left-looking parts of the symbolic phase (elimination trees, column
+counts) are naturally column-oriented; CSC is a thin wrapper sharing the
+CSR machinery through transposition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class CSCMatrix:
+    """Compressed sparse column matrix with float64 values.
+
+    Column ``j`` occupies ``indices[indptr[j]:indptr[j+1]]`` with row
+    indices strictly increasing within each column.
+    """
+
+    __slots__ = ("shape", "indptr", "indices", "data")
+
+    def __init__(self, shape, indptr, indices, data):
+        self.shape = (int(shape[0]), int(shape[1]))
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.data = np.asarray(data, dtype=np.float64)
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries."""
+        return int(self.indices.size)
+
+    def col_slice(self, j: int):
+        """Return ``(row_indices, data)`` views for column ``j``."""
+        lo, hi = self.indptr[j], self.indptr[j + 1]
+        return self.indices[lo:hi], self.data[lo:hi]
+
+    def col_lengths(self) -> np.ndarray:
+        """Per-column nonzero counts."""
+        return np.diff(self.indptr)
+
+    def to_csr(self):
+        """Convert to :class:`~repro.sparse.csr.CSRMatrix`."""
+        from repro.sparse.csr import CSRMatrix
+
+        # A CSC matrix is the CSR of its transpose; transposing that CSR
+        # back gives the CSR of the original matrix.
+        as_csr_of_t = CSRMatrix(
+            (self.shape[1], self.shape[0]), self.indptr, self.indices, self.data
+        )
+        return as_csr_of_t.transpose()
+
+    def to_dense(self) -> np.ndarray:
+        """Materialise as a dense ``float64`` array."""
+        out = np.zeros(self.shape, dtype=np.float64)
+        cols = np.repeat(
+            np.arange(self.shape[1], dtype=np.int64), self.col_lengths()
+        )
+        out[self.indices, cols] = self.data
+        return out
+
+    @classmethod
+    def from_csr(cls, csr) -> "CSCMatrix":
+        """Build from a CSR matrix."""
+        return csr.to_csc()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"CSCMatrix(shape={self.shape}, nnz={self.nnz})"

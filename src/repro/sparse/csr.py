@@ -1,0 +1,226 @@
+"""CSR (compressed sparse row) matrix — the workhorse format.
+
+The invariant maintained everywhere is that within each row the column
+indices are strictly increasing.  All construction paths (COO
+canonicalisation, :meth:`CSRMatrix.from_dense`, transpose, SpGEMM) preserve
+it, and :meth:`CSRMatrix.check` verifies it in tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class CSRMatrix:
+    """Compressed sparse row matrix with float64 values.
+
+    Parameters
+    ----------
+    shape:
+        ``(nrows, ncols)``.
+    indptr:
+        ``int64`` array of length ``nrows + 1``; row ``i`` occupies the
+        half-open slice ``indices[indptr[i]:indptr[i+1]]``.
+    indices:
+        Column indices, strictly increasing within each row.
+    data:
+        Values aligned with ``indices``.
+    """
+
+    __slots__ = ("shape", "indptr", "indices", "data")
+
+    def __init__(self, shape, indptr, indices, data):
+        self.shape = (int(shape[0]), int(shape[1]))
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.data = np.asarray(data, dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries."""
+        return int(self.indices.size)
+
+    @property
+    def nrows(self) -> int:
+        """Number of rows."""
+        return self.shape[0]
+
+    @property
+    def ncols(self) -> int:
+        """Number of columns."""
+        return self.shape[1]
+
+    def row_lengths(self) -> np.ndarray:
+        """Per-row nonzero counts as an ``int64`` array."""
+        return np.diff(self.indptr)
+
+    def row_slice(self, i: int):
+        """Return ``(indices, data)`` views for row ``i``."""
+        lo, hi = self.indptr[i], self.indptr[i + 1]
+        return self.indices[lo:hi], self.data[lo:hi]
+
+    def check(self) -> None:
+        """Validate structural invariants; raises ``ValueError`` on breakage.
+
+        Checked: indptr monotone and sized ``nrows+1``; indices in range and
+        strictly increasing within each row; array lengths consistent.
+        """
+        m, n = self.shape
+        if self.indptr.shape != (m + 1,):
+            raise ValueError("indptr has wrong length")
+        if self.indptr[0] != 0 or self.indptr[-1] != self.indices.size:
+            raise ValueError("indptr endpoints inconsistent with indices")
+        if np.any(np.diff(self.indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if self.indices.size != self.data.size:
+            raise ValueError("indices and data lengths differ")
+        if self.indices.size:
+            if self.indices.min() < 0 or self.indices.max() >= n:
+                raise ValueError("column index out of range")
+            # strictly increasing inside each row: a decrease is only legal
+            # at a row boundary.
+            dec = np.flatnonzero(np.diff(self.indices) <= 0) + 1
+            if dec.size:
+                boundaries = self.indptr[1:-1]
+                if not np.all(np.isin(dec, boundaries)):
+                    raise ValueError("column indices not sorted within a row")
+
+    # ------------------------------------------------------------------
+    # conversions
+    # ------------------------------------------------------------------
+    def to_coo(self):
+        """Expand to :class:`~repro.sparse.coo.COOMatrix` (no copy of data)."""
+        from repro.sparse.coo import COOMatrix
+
+        rows = np.repeat(
+            np.arange(self.nrows, dtype=np.int64), self.row_lengths()
+        )
+        return COOMatrix(self.shape, rows, self.indices.copy(), self.data.copy())
+
+    def to_csc(self):
+        """Convert to :class:`~repro.sparse.csc.CSCMatrix`."""
+        from repro.sparse.csc import CSCMatrix
+
+        t = self.transpose()
+        return CSCMatrix(self.shape, t.indptr, t.indices, t.data)
+
+    def to_dense(self) -> np.ndarray:
+        """Materialise as a dense ``float64`` array."""
+        out = np.zeros(self.shape, dtype=np.float64)
+        rows = np.repeat(
+            np.arange(self.nrows, dtype=np.int64), self.row_lengths()
+        )
+        out[rows, self.indices] = self.data
+        return out
+
+    @classmethod
+    def from_dense(cls, dense) -> "CSRMatrix":
+        """Compress the nonzeros of a dense array into CSR."""
+        dense = np.asarray(dense, dtype=np.float64)
+        if dense.ndim != 2:
+            raise ValueError("from_dense expects a 2-D array")
+        rows, cols = np.nonzero(dense)
+        indptr = np.zeros(dense.shape[0] + 1, dtype=np.int64)
+        np.add.at(indptr, rows + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        return cls(dense.shape, indptr, cols.astype(np.int64), dense[rows, cols])
+
+    @classmethod
+    def empty(cls, shape) -> "CSRMatrix":
+        """An all-zero matrix of the given shape."""
+        return cls(
+            shape,
+            np.zeros(int(shape[0]) + 1, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.float64),
+        )
+
+    @classmethod
+    def identity(cls, n: int) -> "CSRMatrix":
+        """The ``n`` × ``n`` identity."""
+        return cls(
+            (n, n),
+            np.arange(n + 1, dtype=np.int64),
+            np.arange(n, dtype=np.int64),
+            np.ones(n, dtype=np.float64),
+        )
+
+    # ------------------------------------------------------------------
+    # structural operations
+    # ------------------------------------------------------------------
+    def transpose(self) -> "CSRMatrix":
+        """Return the transpose, itself in canonical CSR form.
+
+        Implemented as a counting sort on column indices (the classic
+        "CSR → CSC is a histogram + scatter" kernel), which also yields
+        sorted row indices within each transposed row for free because the
+        scatter scans rows in order.
+        """
+        m, n = self.shape
+        counts = np.bincount(self.indices, minlength=n)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        # Stable sort by column index: because the nonzero stream is already
+        # in row order, a stable sort leaves each destination row's entries
+        # sorted by (original) row — the canonical CSR invariant of Aᵀ.
+        rows = np.repeat(np.arange(m, dtype=np.int64), self.row_lengths())
+        order = np.argsort(self.indices, kind="stable")
+        return CSRMatrix((n, m), indptr, rows[order], self.data[order])
+
+    def diagonal(self) -> np.ndarray:
+        """Extract the main diagonal as a dense vector (zeros where absent)."""
+        m, n = self.shape
+        k = min(m, n)
+        out = np.zeros(k, dtype=np.float64)
+        for i in range(k):
+            lo, hi = self.indptr[i], self.indptr[i + 1]
+            pos = np.searchsorted(self.indices[lo:hi], i)
+            if pos < hi - lo and self.indices[lo + pos] == i:
+                out[i] = self.data[lo + pos]
+        return out
+
+    def prune(self, tol: float = 0.0) -> "CSRMatrix":
+        """Drop stored entries with ``|value| <= tol`` (structural cleanup)."""
+        keep = np.abs(self.data) > tol
+        rows = np.repeat(
+            np.arange(self.nrows, dtype=np.int64), self.row_lengths()
+        )[keep]
+        indptr = np.zeros(self.nrows + 1, dtype=np.int64)
+        np.add.at(indptr, rows + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        return CSRMatrix(self.shape, indptr, self.indices[keep], self.data[keep])
+
+    def copy(self) -> "CSRMatrix":
+        """Deep copy."""
+        return CSRMatrix(
+            self.shape, self.indptr.copy(), self.indices.copy(), self.data.copy()
+        )
+
+    def pattern_symmetrized(self) -> "CSRMatrix":
+        """Structure of ``A + Aᵀ`` with all-ones values.
+
+        Used by the ordering and symbolic phases, which (like SuperLU_DIST
+        and PanguLU) operate on the symmetrised sparsity pattern of an
+        unsymmetric matrix.
+        """
+        from repro.sparse.ops import sparse_add
+
+        ones = self.copy()
+        ones.data = np.ones_like(ones.data)
+        t = ones.transpose()
+        s = sparse_add(ones, t)
+        s.data = np.ones_like(s.data)
+        return s
+
+    def __matmul__(self, other):
+        from repro.sparse.ops import matvec, spgemm
+
+        if isinstance(other, CSRMatrix):
+            return spgemm(self, other)
+        return matvec(self, np.asarray(other))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"CSRMatrix(shape={self.shape}, nnz={self.nnz})"

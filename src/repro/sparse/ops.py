@@ -1,0 +1,153 @@
+"""Sparse linear-algebra operations on the from-scratch formats.
+
+All nonzero-stream operations follow the expand/sort/reduce (ESC) pattern:
+build the full product stream with `np.repeat`-style index arithmetic, then
+canonicalise through COO.  Only the triangular solve is an ordered
+recurrence and therefore row-sequential.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+
+
+def matvec(a: CSRMatrix, x: np.ndarray) -> np.ndarray:
+    """Sparse matrix–vector product ``A @ x``.
+
+    Vectorised as a weighted histogram over row ids (``np.bincount``),
+    which handles empty rows without special-casing.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.shape[0] != a.ncols:
+        raise ValueError("dimension mismatch in matvec")
+    if a.nnz == 0:
+        return np.zeros(a.nrows, dtype=np.float64)
+    rows = np.repeat(np.arange(a.nrows, dtype=np.int64), a.row_lengths())
+    return np.bincount(rows, weights=a.data * x[a.indices], minlength=a.nrows)
+
+
+def spgemm(a: CSRMatrix, b: CSRMatrix) -> CSRMatrix:
+    """Sparse general matrix–matrix product ``C = A @ B`` (ESC algorithm).
+
+    For every nonzero ``A[i,k]`` the entire row ``k`` of ``B`` contributes
+    to row ``i`` of ``C``.  The product stream is materialised with a
+    gather (sizes → cumsum → ragged repeat) and reduced through COO
+    canonicalisation.  Memory is proportional to the number of partial
+    products, which is fine at the block sizes used throughout this repo.
+    """
+    if a.ncols != b.nrows:
+        raise ValueError("dimension mismatch in spgemm")
+    if a.nnz == 0 or b.nnz == 0:
+        return CSRMatrix.empty((a.nrows, b.ncols))
+    b_rowlen = b.row_lengths()
+    # For each nonzero (i, k) of A: how many partial products it spawns.
+    sizes = b_rowlen[a.indices]
+    total = int(sizes.sum())
+    if total == 0:
+        return CSRMatrix.empty((a.nrows, b.ncols))
+    a_rows = np.repeat(np.arange(a.nrows, dtype=np.int64), a.row_lengths())
+    # out_row[p] = row of A-nonzero that spawned product p
+    out_row = np.repeat(a_rows, sizes)
+    a_val = np.repeat(a.data, sizes)
+    # Ragged gather of B row slices: position within each group ...
+    group_starts = np.zeros(a.nnz, dtype=np.int64)
+    np.cumsum(sizes[:-1], out=group_starts[1:])
+    offset_in_group = np.arange(total, dtype=np.int64) - np.repeat(
+        group_starts, sizes
+    )
+    b_start = b.indptr[a.indices]
+    src = np.repeat(b_start, sizes) + offset_in_group
+    out_col = b.indices[src]
+    out_val = a_val * b.data[src]
+    coo = COOMatrix((a.nrows, b.ncols), out_row, out_col, out_val)
+    return coo.to_csr()
+
+
+def sparse_add(a: CSRMatrix, b: CSRMatrix, alpha: float = 1.0, beta: float = 1.0) -> CSRMatrix:
+    """Sparse sum ``alpha*A + beta*B`` through COO concatenation."""
+    if a.shape != b.shape:
+        raise ValueError("dimension mismatch in sparse_add")
+    a_rows = np.repeat(np.arange(a.nrows, dtype=np.int64), a.row_lengths())
+    b_rows = np.repeat(np.arange(b.nrows, dtype=np.int64), b.row_lengths())
+    coo = COOMatrix(
+        a.shape,
+        np.concatenate([a_rows, b_rows]),
+        np.concatenate([a.indices, b.indices]),
+        np.concatenate([alpha * a.data, beta * b.data]),
+    )
+    return coo.to_csr()
+
+
+def sparse_scale(a: CSRMatrix, alpha: float) -> CSRMatrix:
+    """Return ``alpha * A`` (new matrix, structure shared by copy)."""
+    out = a.copy()
+    out.data *= alpha
+    return out
+
+
+def triangular_solve(
+    a: CSRMatrix,
+    b: np.ndarray,
+    lower: bool = True,
+    unit_diagonal: bool = False,
+) -> np.ndarray:
+    """Solve ``A x = b`` for triangular sparse ``A``.
+
+    Row-sequential substitution; each row's dot product is vectorised.
+    ``A`` must actually be (lower/upper) triangular — entries on the wrong
+    side of the diagonal raise ``ValueError`` so schedule bugs fail loudly
+    instead of silently corrupting the solve.
+
+    Parameters
+    ----------
+    a:
+        Square triangular CSR matrix.
+    b:
+        Right-hand side vector (1-D) or multiple right-hand sides (2-D,
+        one system per column).
+    lower:
+        ``True`` for forward substitution, ``False`` for backward.
+    unit_diagonal:
+        If ``True`` the diagonal is taken to be implicitly 1 and any stored
+        diagonal entries are ignored.
+    """
+    n = a.nrows
+    if a.ncols != n:
+        raise ValueError("triangular_solve requires a square matrix")
+    b = np.asarray(b, dtype=np.float64)
+    squeeze = b.ndim == 1
+    x = b.reshape(n, -1).copy()
+    order = range(n) if lower else range(n - 1, -1, -1)
+    for i in order:
+        cols, vals = a.row_slice(i)
+        if cols.size:
+            if lower:
+                pos = np.searchsorted(cols, i)
+                off_cols, off_vals = cols[:pos], vals[:pos]
+                has_diag = pos < cols.size and cols[pos] == i
+                diag_val = vals[pos] if has_diag else 0.0
+                if pos < cols.size and not has_diag:
+                    raise ValueError("matrix is not lower triangular")
+                if cols.size > pos + (1 if has_diag else 0):
+                    raise ValueError("matrix is not lower triangular")
+            else:
+                pos = np.searchsorted(cols, i)
+                has_diag = pos < cols.size and cols[pos] == i
+                diag_val = vals[pos] if has_diag else 0.0
+                start = pos + (1 if has_diag else 0)
+                off_cols, off_vals = cols[start:], vals[start:]
+                if pos > 0:
+                    raise ValueError("matrix is not upper triangular")
+            if off_cols.size:
+                x[i] -= off_vals @ x[off_cols]
+        else:
+            has_diag = False
+            diag_val = 0.0
+        if not unit_diagonal:
+            if not has_diag or diag_val == 0.0:
+                raise ZeroDivisionError(f"zero diagonal at row {i}")
+            x[i] /= diag_val
+    return x[:, 0] if squeeze else x

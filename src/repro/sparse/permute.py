@@ -1,0 +1,66 @@
+"""Permutation utilities for the reordering phase.
+
+A permutation ``perm`` is stored in "new ← old" gather convention:
+``perm[new_index] = old_index``, i.e. row ``new_index`` of the permuted
+matrix is row ``perm[new_index]`` of the original.  This matches the
+output convention of every ordering in :mod:`repro.ordering`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+
+
+def inverse_permutation(perm: np.ndarray) -> np.ndarray:
+    """Invert a permutation: ``inv[perm[i]] = i``."""
+    perm = np.asarray(perm, dtype=np.int64)
+    inv = np.empty_like(perm)
+    inv[perm] = np.arange(perm.size, dtype=np.int64)
+    return inv
+
+
+def _validate(perm: np.ndarray, n: int) -> np.ndarray:
+    perm = np.asarray(perm, dtype=np.int64)
+    if perm.shape != (n,):
+        raise ValueError("permutation length mismatch")
+    if not np.array_equal(np.sort(perm), np.arange(n)):
+        raise ValueError("not a permutation")
+    return perm
+
+
+def permute_rows(a: CSRMatrix, perm: np.ndarray) -> CSRMatrix:
+    """Reorder rows: ``B[i, :] = A[perm[i], :]``."""
+    perm = _validate(perm, a.nrows)
+    lens = a.row_lengths()[perm]
+    indptr = np.zeros(a.nrows + 1, dtype=np.int64)
+    np.cumsum(lens, out=indptr[1:])
+    # Gather each permuted row's slice.
+    starts = a.indptr[perm]
+    total = int(lens.sum())
+    group_starts = indptr[:-1]
+    offset = np.arange(total, dtype=np.int64) - np.repeat(group_starts, lens)
+    src = np.repeat(starts, lens) + offset
+    return CSRMatrix(a.shape, indptr, a.indices[src], a.data[src])
+
+
+def permute_cols(a: CSRMatrix, perm: np.ndarray) -> CSRMatrix:
+    """Reorder columns: ``B[:, j] = A[:, perm[j]]``."""
+    perm = _validate(perm, a.ncols)
+    inv = inverse_permutation(perm)
+    rows = np.repeat(np.arange(a.nrows, dtype=np.int64), a.row_lengths())
+    coo = COOMatrix(a.shape, rows, inv[a.indices], a.data.copy())
+    return coo.to_csr()
+
+
+def permute_symmetric(a: CSRMatrix, perm: np.ndarray) -> CSRMatrix:
+    """Symmetric permutation ``P A Pᵀ`` with ``P`` defined by ``perm``.
+
+    ``B[i, j] = A[perm[i], perm[j]]`` — the operation the reordering phase
+    applies before symbolic factorisation.
+    """
+    if a.nrows != a.ncols:
+        raise ValueError("symmetric permutation requires a square matrix")
+    return permute_cols(permute_rows(a, perm), perm)

@@ -1,0 +1,29 @@
+"""Symbolic phase: structure prediction before any flop is spent.
+
+Mirrors Figure 1's "symbolic" stage: build the elimination tree of the
+symmetrised pattern, predict the fill structure of ``L+U``, detect
+supernodes (SuperLU side) and compute block-level fill (PanguLU side).
+Like both solvers' distributed GPU paths, the analysis is performed on the
+symmetrised pattern of the (already reordered) matrix — a standard
+static-pivoting simplification recorded in DESIGN.md §6.
+"""
+
+from repro.symbolic.etree import elimination_tree, etree_levels, postorder
+from repro.symbolic.fill import (
+    symbolic_fill,
+    FillResult,
+    column_counts,
+)
+from repro.symbolic.supernodes import find_supernodes
+from repro.symbolic.blockfill import block_fill
+
+__all__ = [
+    "elimination_tree",
+    "etree_levels",
+    "postorder",
+    "symbolic_fill",
+    "FillResult",
+    "column_counts",
+    "find_supernodes",
+    "block_fill",
+]

@@ -1,0 +1,59 @@
+"""Block-level symbolic fill: which tiles of the factors hold nonzeros.
+
+Given a partition, boolean Gaussian elimination on the tile adjacency map
+yields the set of tiles the numeric phase must allocate and the task list
+it must execute: one GETRF per diagonal tile, one TSTRF/GEESM per
+off-diagonal factor tile, one SSSSM per (k, i, j) tile triple.  This is
+PanguLU's "sparse blocking" symbolic step; the SuperLU substrate uses the
+same machinery on its supernodal partition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse import CSRMatrix
+from repro.sparse.blocking import Partition, block_pattern
+
+
+def block_fill(a_or_pattern, part: Partition) -> np.ndarray:
+    """Boolean tile map of ``L + U`` at block granularity.
+
+    Parameters
+    ----------
+    a_or_pattern:
+        Either a CSR matrix (its tile pattern is computed first) or an
+        ``nblocks × nblocks`` boolean array.
+    part:
+        The tile partition.
+
+    Returns
+    -------
+    numpy.ndarray
+        Boolean ``nblocks × nblocks``; entry (i, j) is True iff tile (i, j)
+        of the factors is structurally nonzero.
+
+    Notes
+    -----
+    One rank-1 boolean update per elimination step:
+    ``S[k+1:, k+1:] |= S[k+1:, k] ⊗ S[k, k+1:]`` — O(nblocks³) bit
+    operations, fully vectorised.
+    """
+    if isinstance(a_or_pattern, CSRMatrix):
+        s = block_pattern(a_or_pattern, part)
+    else:
+        s = np.asarray(a_or_pattern, dtype=bool).copy()
+        if s.shape != (part.nblocks, part.nblocks):
+            raise ValueError("pattern shape does not match partition")
+    nb = part.nblocks
+    s = s.copy()
+    np.fill_diagonal(s, True)  # diagonal tiles always exist (GETRF targets)
+    for k in range(nb - 1):
+        col = s[k + 1:, k]
+        if not col.any():
+            continue
+        row = s[k, k + 1:]
+        if not row.any():
+            continue
+        s[k + 1:, k + 1:] |= np.outer(col, row)
+    return s

@@ -1,0 +1,106 @@
+"""Elimination tree construction (Liu's algorithm) and tree utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse import CSRMatrix
+
+
+def elimination_tree(a: CSRMatrix) -> np.ndarray:
+    """Elimination tree of the symmetrised pattern of ``a``.
+
+    Returns ``parent`` with ``parent[j]`` the etree parent of column ``j``
+    (−1 for roots).  Liu's algorithm with path compression through an
+    ``ancestor`` array — O(nnz · α(n)).
+    """
+    if a.nrows != a.ncols:
+        raise ValueError("elimination tree requires a square matrix")
+    n = a.nrows
+    s = a.pattern_symmetrized()
+    parent = np.full(n, -1, dtype=np.int64)
+    ancestor = np.full(n, -1, dtype=np.int64)
+    for i in range(n):
+        cols, _ = s.row_slice(i)
+        for k in cols[cols < i]:
+            j = int(k)
+            # climb with path compression until we reach i's subtree
+            while ancestor[j] != -1 and ancestor[j] != i:
+                nxt = ancestor[j]
+                ancestor[j] = i
+                j = nxt
+            if ancestor[j] == -1:
+                ancestor[j] = i
+                parent[j] = i
+    return parent
+
+
+def etree_levels(parent: np.ndarray) -> np.ndarray:
+    """Distance of each node from its root (roots are level 0).
+
+    Used by level-synchronous baselines (SuperLU batches within one etree
+    level) — note the paper's convention counts levels from the leaves, so
+    callers that need leaf-relative levels should use :func:`etree_height`.
+    """
+    n = parent.size
+    level = np.full(n, -1, dtype=np.int64)
+    for start in range(n):
+        if level[start] != -1:
+            continue
+        # climb to the first node with a known level (or a root), collecting
+        # the unknown chain, then assign levels walking back down.
+        chain = []
+        v = start
+        while level[v] == -1 and parent[v] != -1:
+            chain.append(v)
+            v = int(parent[v])
+        if level[v] == -1:  # v is a root
+            level[v] = 0
+        base = level[v]
+        for off, u in enumerate(reversed(chain), start=1):
+            level[u] = base + off
+    return level
+
+
+def etree_height(parent: np.ndarray) -> np.ndarray:
+    """Height of each node above its deepest descendant leaf (leaves 0)."""
+    n = parent.size
+    height = np.zeros(n, dtype=np.int64)
+    # children are always numbered below parents, so a single ascending
+    # pass propagates heights correctly.
+    for v in range(n):
+        p = parent[v]
+        if p != -1 and height[p] < height[v] + 1:
+            height[p] = height[v] + 1
+    return height
+
+
+def postorder(parent: np.ndarray) -> np.ndarray:
+    """A postorder of the elimination forest (children before parents)."""
+    n = parent.size
+    children: list[list[int]] = [[] for _ in range(n)]
+    roots = []
+    for v in range(n):
+        p = parent[v]
+        if p == -1:
+            roots.append(v)
+        else:
+            children[p].append(v)
+    out = np.empty(n, dtype=np.int64)
+    k = 0
+    for root in roots:
+        stack = [(root, iter(children[root]))]
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for child in it:
+                stack.append((child, iter(children[child])))
+                advanced = True
+                break
+            if not advanced:
+                out[k] = node
+                k += 1
+                stack.pop()
+    if k != n:
+        raise AssertionError("postorder did not visit every node")
+    return out

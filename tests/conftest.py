@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.matrices import circuit_like, poisson2d
+from repro.sparse import CSRMatrix
+
+
+@pytest.fixture
+def rng():
+    """Deterministic random generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def random_sparse(rng):
+    """A 40×40 unsymmetric random sparse CSR matrix with known dense twin."""
+    dense = (rng.random((40, 40)) < 0.2) * rng.standard_normal((40, 40))
+    return CSRMatrix.from_dense(dense), dense
+
+
+@pytest.fixture
+def small_spd():
+    """A small diagonally-dominant Poisson matrix (n=64)."""
+    return poisson2d(8)
+
+
+@pytest.fixture
+def medium_poisson():
+    """A 256-unknown Poisson system for solver-level tests."""
+    return poisson2d(16)
+
+
+@pytest.fixture
+def circuit_matrix():
+    """An irregular circuit-like matrix (n=200) for scheduler stress."""
+    return circuit_like(200, seed=42)

@@ -1,0 +1,129 @@
+"""Unit tests for the analysis/reporting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    binned_gflops_timeline,
+    format_table,
+    geomean,
+    kernel_share,
+    phase_shares,
+    speedup_summary,
+)
+from repro.core import build_block_dag, make_scheduler
+from repro.core.executor import EstimateBackend
+from repro.gpusim import GPUCostModel, RTX5090
+from repro.matrices import circuit_like
+from repro.ordering import compute_ordering
+from repro.sparse import permute_symmetric, uniform_partition
+from repro.symbolic import block_fill
+
+
+@pytest.fixture(scope="module")
+def schedule():
+    a = circuit_like(120, seed=8)
+    b = permute_symmetric(a, compute_ordering(a, "mindeg"))
+    part = uniform_partition(120, 12)
+    dag = build_block_dag(block_fill(b, part), part, sparse_tiles=True)
+    return make_scheduler("trojan", dag, EstimateBackend(),
+                          GPUCostModel(RTX5090)).run()
+
+
+class TestGeomean:
+    def test_known_value(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_single(self):
+        assert geomean([7.0]) == pytest.approx(7.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    def test_below_arithmetic_mean(self, rng):
+        vals = rng.random(50) + 0.5
+        assert geomean(vals) <= vals.mean() + 1e-12
+
+
+class TestSpeedupSummary:
+    def test_basic(self):
+        s = speedup_summary([10.0, 20.0], [5.0, 2.0])
+        assert np.allclose(s["speedups"], [2.0, 10.0])
+        assert s["max"] == 10.0
+        assert s["min"] == 2.0
+        assert s["regressions"] == 0
+
+    def test_regressions_counted(self):
+        s = speedup_summary([1.0, 1.0], [2.0, 0.5])
+        assert s["regressions"] == 1
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            speedup_summary([1.0], [1.0, 2.0])
+
+
+class TestTimeline:
+    def test_flops_conserved(self, schedule):
+        t, g = binned_gflops_timeline(schedule, n_bins=32)
+        width = t[1] - t[0]
+        total = (g * width).sum() * 1e9
+        assert total == pytest.approx(schedule.total_flops, rel=1e-6)
+
+    def test_shapes(self, schedule):
+        t, g = binned_gflops_timeline(schedule, n_bins=17)
+        assert t.shape == g.shape == (17,)
+        assert np.all(np.diff(t) > 0)
+
+    def test_nonnegative(self, schedule):
+        _, g = binned_gflops_timeline(schedule)
+        assert np.all(g >= 0)
+
+    def test_empty_schedule_rejected(self, schedule):
+        import copy
+
+        empty = copy.copy(schedule)
+        empty.batches = []
+        with pytest.raises(ValueError):
+            binned_gflops_timeline(empty)
+
+
+class TestBreakdowns:
+    def test_kernel_share_sums(self, schedule):
+        s = kernel_share(schedule)
+        assert s["kernel_s"] + s["sched_s"] == pytest.approx(s["total_s"])
+        assert 0 < s["kernel_share"] <= 1
+
+    def test_phase_shares_normalised(self):
+        s = phase_shares({"reorder": 1.0, "symbolic": 1.0, "numeric": 8.0})
+        assert sum(s.values()) == pytest.approx(1.0)
+        assert s["numeric"] == pytest.approx(0.8)
+
+    def test_phase_shares_wrong_keys(self):
+        with pytest.raises(ValueError):
+            phase_shares({"a": 1.0})
+
+    def test_phase_shares_zero_total(self):
+        with pytest.raises(ValueError):
+            phase_shares({"reorder": 0.0, "symbolic": 0.0, "numeric": 0.0})
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["name", "x"], [["a", 1], ["bbbb", 22]],
+                           title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert all(len(l) == len(lines[1]) for l in lines[1:])
+
+    def test_float_compaction(self):
+        out = format_table(["v"], [[0.000012345]])
+        assert "e-" in out
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])

@@ -1,0 +1,114 @@
+"""Tests for the Cholesky substrate (solver-agnosticism of the layer)."""
+
+import numpy as np
+import pytest
+
+from repro.core.task import TaskType
+from repro.kernels.dense import dense_potrf
+from repro.matrices import poisson2d, spd_random
+from repro.solvers import CholeskySolver
+from repro.solvers.cholesky import build_cholesky_dag
+from repro.sparse import (
+    CSRMatrix,
+    matvec,
+    permute_symmetric,
+    spgemm,
+    uniform_partition,
+)
+from repro.symbolic import block_fill
+
+
+class TestDensePOTRF:
+    def test_reconstruction(self, rng):
+        b = rng.standard_normal((10, 10))
+        a = b @ b.T + 10 * np.eye(10)
+        a0 = a.copy()
+        dense_potrf(a)
+        l = np.tril(a)
+        assert np.allclose(l @ l.T, a0)
+
+    def test_not_spd_raises(self):
+        a = np.array([[1.0, 2.0], [2.0, 1.0]])  # indefinite
+        with pytest.raises(ValueError):
+            dense_potrf(a)
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(ValueError):
+            dense_potrf(np.ones((2, 3)))
+
+
+class TestCholeskyDAG:
+    def _dag(self):
+        a = poisson2d(8)
+        part = uniform_partition(64, 8)
+        fill = np.tril(block_fill(a, part))
+        return build_cholesky_dag(fill, part), fill, part
+
+    def test_acyclic(self):
+        dag, _, _ = self._dag()
+        dag.validate()
+
+    def test_one_potrf_per_diagonal(self):
+        dag, _, part = self._dag()
+        assert dag.counts_by_type()["GETRF"] == part.nblocks
+
+    def test_no_geesm_tasks(self):
+        # the symmetric factorisation has no upper-panel solves
+        dag, _, _ = self._dag()
+        assert dag.counts_by_type()["GEESM"] == 0
+
+    def test_updates_only_lower(self):
+        dag, _, _ = self._dag()
+        for t in dag.tasks:
+            if t.type == TaskType.SSSSM:
+                assert t.i >= t.j
+
+    def test_update_count_formula(self):
+        dag, fill, part = self._dag()
+        nb = part.nblocks
+        expect = 0
+        for k in range(nb):
+            c = int(fill[k + 1:, k].sum())
+            expect += c * (c + 1) // 2
+        assert dag.counts_by_type()["SSSSM"] == expect
+
+
+class TestCholeskySolver:
+    @pytest.mark.parametrize("scheduler", ["serial", "levelbatch",
+                                           "streams", "trojan"])
+    def test_factorisation_correct(self, scheduler, rng):
+        a = spd_random(120, seed=5)
+        solver = CholeskySolver(a, block_size=24, scheduler=scheduler)
+        r = solver.factorize()
+        llt = spgemm(r.L, r.L.transpose()).to_dense()
+        ref = permute_symmetric(a, r.perm).to_dense()
+        assert np.allclose(llt, ref, atol=1e-9)
+
+    def test_solve(self, rng):
+        a = poisson2d(10)
+        x_true = rng.standard_normal(100)
+        b = matvec(a, x_true)
+        x = CholeskySolver(a, block_size=20).solve(b)
+        assert np.allclose(x, x_true)
+
+    def test_trojan_fewer_kernels_same_factor(self):
+        a = spd_random(140, seed=8)
+        base = CholeskySolver(a, block_size=20, scheduler="serial").factorize()
+        th = CholeskySolver(a, block_size=20, scheduler="trojan").factorize()
+        assert th.schedule.kernel_count < base.schedule.kernel_count
+        assert np.allclose(base.L.to_dense(), th.L.to_dense())
+
+    def test_asymmetric_rejected(self, rng):
+        d = rng.standard_normal((8, 8)) + 8 * np.eye(8)
+        with pytest.raises(ValueError):
+            CholeskySolver(CSRMatrix.from_dense(d))
+
+    def test_l_lower_triangular(self):
+        a = poisson2d(8)
+        r = CholeskySolver(a, block_size=16).factorize()
+        assert np.allclose(np.triu(r.L.to_dense(), 1), 0.0)
+
+    def test_phase_times_recorded(self):
+        a = poisson2d(8)
+        r = CholeskySolver(a, block_size=16).factorize()
+        assert set(r.phase_seconds) == {"reorder", "symbolic", "numeric"}

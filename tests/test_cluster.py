@@ -1,0 +1,213 @@
+"""Unit and integration tests for the distributed cluster simulator."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    ClusterSpec,
+    DistributedSimulator,
+    H100_CLUSTER,
+    IB_200G,
+    IB_400G,
+    MI50_CLUSTER,
+    NVLINK,
+    NetworkModel,
+    ProcessGrid,
+)
+from repro.core import build_block_dag
+from repro.core.executor import EstimateBackend, ReplayBackend
+from repro.matrices import circuit_like, paper_matrix
+from repro.ordering import compute_ordering
+from repro.solvers import PanguLUSolver
+from repro.sparse import permute_symmetric, uniform_partition
+from repro.symbolic import block_fill
+
+
+@pytest.fixture(scope="module")
+def dist_setup():
+    """A factorised matrix whose DAG and stats feed the simulator."""
+    a = paper_matrix("c-71", scale=0.6)
+    run = PanguLUSolver(a, block_size=32, scheduler="serial").factorize()
+    return run.dag, ReplayBackend(run.stats)
+
+
+class TestProcessGrid:
+    def test_square_grid(self):
+        g = ProcessGrid(16)
+        assert (g.pr, g.pc) == (4, 4)
+
+    def test_rectangular_grid(self):
+        g = ProcessGrid(8)
+        assert g.pr * g.pc == 8
+        assert g.pr <= g.pc
+
+    def test_prime_count(self):
+        g = ProcessGrid(7)
+        assert (g.pr, g.pc) == (1, 7)
+
+    def test_owner_block_cyclic(self):
+        g = ProcessGrid(4)  # 2x2
+        assert g.owner(0, 0) == 0
+        assert g.owner(0, 1) == 1
+        assert g.owner(1, 0) == 2
+        assert g.owner(1, 1) == 3
+        assert g.owner(2, 2) == 0  # wraps
+
+    def test_owner_covers_all_ranks(self):
+        g = ProcessGrid(6)
+        owners = {g.owner(i, j) for i in range(12) for j in range(12)}
+        assert owners == set(range(6))
+
+    def test_explicit_shape(self):
+        g = ProcessGrid(6, pr=2, pc=3)
+        assert (g.pr, g.pc) == (2, 3)
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessGrid(6, pr=2, pc=2)
+
+    def test_coords_roundtrip(self):
+        g = ProcessGrid(6, pr=2, pc=3)
+        for r in range(6):
+            i, j = g.coords(r)
+            assert g.owner(i, j) == r
+
+    def test_zero_procs_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessGrid(0)
+
+
+class TestNetwork:
+    def test_message_time_formula(self):
+        net = NetworkModel("t", latency_us=2.0, bandwidth_gbs=50.0)
+        assert net.message_time(0) == pytest.approx(2e-6)
+        assert net.message_time(50 * 10 ** 9) == pytest.approx(1.0 + 2e-6)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            IB_400G.message_time(-1)
+
+    def test_faster_link_is_faster(self):
+        size = 10 ** 6
+        assert NVLINK.message_time(size) < IB_400G.message_time(size)
+        assert IB_400G.message_time(size) < IB_200G.message_time(size)
+
+    def test_cluster_intranode_cheaper(self):
+        size = 10 ** 6
+        intra = H100_CLUSTER.message_time(0, 1, size)   # same node (8/node)
+        inter = H100_CLUSTER.message_time(0, 8, size)   # across nodes
+        assert intra < inter
+
+    def test_self_message_free(self):
+        assert H100_CLUSTER.message_time(3, 3, 10 ** 9) == 0.0
+
+    def test_table3_presets(self):
+        assert H100_CLUSTER.gpus_per_node == 8
+        assert MI50_CLUSTER.gpus_per_node == 4
+        assert H100_CLUSTER.gpu.fp64_gflops == 25610.0
+        assert MI50_CLUSTER.gpu.fp64_gflops == 6710.0
+
+
+class TestDistributedSimulator:
+    @pytest.mark.parametrize("policy", ["serial", "streams", "trojan"])
+    def test_all_tasks_complete(self, dist_setup, policy):
+        dag, backend = dist_setup
+        res = DistributedSimulator(dag, backend, H100_CLUSTER, 4,
+                                   policy).run()
+        assert res.total_tasks == dag.n_tasks
+        assert res.makespan > 0
+
+    @pytest.mark.parametrize("policy", ["serial", "trojan"])
+    def test_single_process_no_messages(self, dist_setup, policy):
+        dag, backend = dist_setup
+        res = DistributedSimulator(dag, backend, H100_CLUSTER, 1,
+                                   policy).run()
+        assert res.messages == 0
+        assert res.comm_bytes == 0
+
+    def test_more_gpus_more_messages(self, dist_setup):
+        dag, backend = dist_setup
+        m = [DistributedSimulator(dag, backend, H100_CLUSTER, g,
+                                  "serial").run().messages
+             for g in (1, 4, 16)]
+        assert m[0] < m[1] < m[2]
+
+    def test_strong_scaling_baseline(self, dist_setup):
+        dag, backend = dist_setup
+        t = [DistributedSimulator(dag, backend, H100_CLUSTER, g,
+                                  "serial").run().makespan
+             for g in (1, 4, 16)]
+        assert t[0] > t[1] > t[2]
+
+    def test_trojan_fastest_policy(self, dist_setup):
+        dag, backend = dist_setup
+        times = {
+            p: DistributedSimulator(dag, backend, H100_CLUSTER, 4, p)
+            .run().makespan
+            for p in ("serial", "streams", "trojan")
+        }
+        assert times["trojan"] < times["streams"] < times["serial"]
+
+    def test_trojan_fewer_kernels(self, dist_setup):
+        dag, backend = dist_setup
+        serial = DistributedSimulator(dag, backend, H100_CLUSTER, 4,
+                                      "serial").run()
+        trojan = DistributedSimulator(dag, backend, H100_CLUSTER, 4,
+                                      "trojan").run()
+        assert trojan.total_kernels < serial.total_kernels
+        assert serial.total_kernels == dag.n_tasks
+
+    def test_h100_faster_than_mi50(self, dist_setup):
+        dag, backend = dist_setup
+        h = DistributedSimulator(dag, backend, H100_CLUSTER, 4, "trojan").run()
+        m = DistributedSimulator(dag, backend, MI50_CLUSTER, 4, "trojan").run()
+        assert h.makespan < m.makespan
+
+    def test_flops_invariant_across_policies(self, dist_setup):
+        dag, backend = dist_setup
+        flops = {
+            DistributedSimulator(dag, backend, H100_CLUSTER, g, p).run()
+            .total_flops
+            for p in ("serial", "trojan") for g in (1, 4)
+        }
+        assert len(flops) == 1
+
+    def test_single_gpu_matches_single_node_scheduler(self, dist_setup):
+        # 1-process distributed run ≡ the single-device scheduler
+        from repro.core.baselines import make_scheduler
+        from repro.gpusim import GPUCostModel
+
+        dag, backend = dist_setup
+        dist = DistributedSimulator(dag, backend, H100_CLUSTER, 1,
+                                    "serial").run()
+        local = make_scheduler("serial", dag, backend,
+                               GPUCostModel(H100_CLUSTER.gpu)).run()
+        assert dist.total_kernels == local.kernel_count
+        assert dist.makespan == pytest.approx(local.kernel_time, rel=1e-9)
+
+    def test_unknown_policy_rejected(self, dist_setup):
+        dag, backend = dist_setup
+        with pytest.raises(ValueError):
+            DistributedSimulator(dag, backend, H100_CLUSTER, 2, "magic")
+
+    def test_load_balance_metric(self, dist_setup):
+        dag, backend = dist_setup
+        res = DistributedSimulator(dag, backend, H100_CLUSTER, 4,
+                                   "serial").run()
+        assert 0 < res.load_balance <= 1.0
+
+    def test_summary_keys(self, dist_setup):
+        dag, backend = dist_setup
+        res = DistributedSimulator(dag, backend, H100_CLUSTER, 2,
+                                   "trojan").run()
+        s = res.summary()
+        assert {"gpus", "time_s", "gflops", "messages"} <= set(s)
+
+    def test_estimate_backend_works(self):
+        a = circuit_like(96, seed=1)
+        b = permute_symmetric(a, compute_ordering(a, "mindeg"))
+        part = uniform_partition(96, 12)
+        dag = build_block_dag(block_fill(b, part), part, sparse_tiles=True)
+        res = DistributedSimulator(dag, EstimateBackend(), MI50_CLUSTER, 4,
+                                   "trojan").run()
+        assert res.total_tasks == dag.n_tasks

@@ -1,0 +1,71 @@
+"""Unit tests for the per-GPU factor-memory model."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ProcessGrid, factor_bytes_per_rank, fits_in_memory
+from repro.cluster.memory import BYTES_PER_NNZ, USABLE_FRACTION
+from repro.core import build_block_dag
+from repro.core.task import TaskType
+from repro.gpusim import H100_SXM, MI50
+from repro.matrices import paper_matrix_info, poisson2d
+from repro.sparse import uniform_partition
+from repro.symbolic import block_fill
+
+
+class TestFactorBytes:
+    def _dag(self):
+        a = poisson2d(8)
+        part = uniform_partition(64, 8)
+        return build_block_dag(block_fill(a, part), part)
+
+    def test_total_matches_factor_tiles(self):
+        dag = self._dag()
+        grid = ProcessGrid(4)
+        per_rank = factor_bytes_per_rank(dag, grid)
+        expect = sum(BYTES_PER_NNZ * t.nnz for t in dag.tasks
+                     if t.type != TaskType.SSSSM)
+        assert per_rank.sum() == pytest.approx(expect)
+
+    def test_single_rank_holds_everything(self):
+        dag = self._dag()
+        one = factor_bytes_per_rank(dag, ProcessGrid(1))
+        four = factor_bytes_per_rank(dag, ProcessGrid(4))
+        assert one.shape == (1,)
+        assert one[0] == pytest.approx(four.sum())
+
+    def test_block_cyclic_roughly_balanced(self):
+        dag = self._dag()
+        per_rank = factor_bytes_per_rank(dag, ProcessGrid(4))
+        assert per_rank.min() > 0
+        assert per_rank.max() < 4 * per_rank.min()
+
+
+class TestFitsInMemory:
+    def test_more_gpus_always_helps(self):
+        nnz = 5e9
+        feasible = [fits_in_memory(nnz, g, MI50) for g in (1, 2, 4, 8, 16)]
+        # once feasible, stays feasible
+        first = feasible.index(True)
+        assert all(feasible[first:])
+
+    def test_paper_oom_pattern(self):
+        # Figure 12: small MI50 counts run out of memory, 16 GPUs fit;
+        # the single H100 runs of Table 7 are feasible
+        for name in ("cage13", "Serena", "Ga41As41H72"):
+            info = paper_matrix_info(name)
+            assert not fits_in_memory(info.paper_lu_pangulu, 1, MI50), name
+            assert fits_in_memory(info.paper_lu_pangulu, 16, MI50), name
+            assert fits_in_memory(info.paper_lu_pangulu, 1, H100_SXM), name
+
+    def test_zero_procs_rejected(self):
+        with pytest.raises(ValueError):
+            fits_in_memory(1e9, 0, MI50)
+
+    def test_usable_fraction_applied(self):
+        # exactly at the raw capacity boundary: must NOT fit because only
+        # USABLE_FRACTION of memory is available for factors
+        nnz = MI50.memory_gb * 1e9 / BYTES_PER_NNZ
+        assert not fits_in_memory(nnz, 1, MI50, imbalance=1.0)
+        assert fits_in_memory(nnz * USABLE_FRACTION * 0.99, 1, MI50,
+                              imbalance=1.0)

@@ -1,0 +1,124 @@
+"""Unit tests for the §3.5.1 Schur-fusion integration."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FusedBackend,
+    TaskType,
+    build_block_dag,
+    make_scheduler,
+    merge_schur_tasks,
+)
+from repro.core.executor import EstimateBackend, ReplayBackend
+from repro.gpusim import GPUCostModel, RTX5090
+from repro.matrices import circuit_like, poisson2d
+from repro.ordering import compute_ordering
+from repro.solvers import SuperLUSolver, resimulate
+from repro.sparse import permute_symmetric, uniform_partition
+from repro.symbolic import block_fill
+
+
+@pytest.fixture(scope="module")
+def dag():
+    a = circuit_like(150, seed=5)
+    b = permute_symmetric(a, compute_ordering(a, "mindeg"))
+    part = uniform_partition(150, 10)
+    return build_block_dag(block_fill(b, part), part)
+
+
+class TestMergeStructure:
+    def test_groups_by_step_and_row(self, dag):
+        fusion = merge_schur_tasks(dag)
+        keys = set()
+        for t in fusion.dag.tasks:
+            if t.type == TaskType.SSSSM:
+                key = (t.k, t.i)
+                assert key not in keys  # one fused task per (k, i)
+                keys.add(key)
+
+    def test_non_schur_tasks_untouched(self, dag):
+        fusion = merge_schur_tasks(dag)
+        orig = {t.name: 0 for t in TaskType}
+        for t in dag.tasks:
+            orig[t.type.name] += 1
+        fused = fusion.dag.counts_by_type()
+        assert fused["GETRF"] == orig["GETRF"]
+        assert fused["TSTRF"] == orig["TSTRF"]
+        assert fused["GEESM"] == orig["GEESM"]
+        assert fused["SSSSM"] <= orig["SSSSM"]
+
+    def test_members_partition_original_tasks(self, dag):
+        fusion = merge_schur_tasks(dag)
+        all_members = sorted(t for group in fusion.members for t in group)
+        assert all_members == list(range(dag.n_tasks))
+
+    def test_fused_dag_acyclic(self, dag):
+        merge_schur_tasks(dag).dag.validate()
+
+    def test_flops_conserved(self, dag):
+        fusion = merge_schur_tasks(dag)
+        assert (fusion.dag.total_flops_est() == dag.total_flops_est())
+
+    def test_fuse_stats_sums_members(self, dag):
+        from repro.kernels.tilekernels import KernelStats
+
+        stats = {t: KernelStats(flops=t + 1, bytes=2 * t) for t in
+                 range(dag.n_tasks)}
+        fusion = merge_schur_tasks(dag)
+        fused = fusion.fuse_stats(stats)
+        assert (sum(s.flops for s in fused.values())
+                == sum(s.flops for s in stats.values()))
+
+    def test_cuda_blocks_accumulate(self, dag):
+        fusion = merge_schur_tasks(dag)
+        for new_tid, group in enumerate(fusion.members):
+            if len(group) > 1:
+                fused = fusion.dag.tasks[new_tid]
+                assert fused.cuda_blocks == sum(
+                    dag.tasks[t].cuda_blocks for t in group)
+                break
+        else:
+            pytest.skip("no multi-member group in this DAG")
+
+
+class TestFusedExecution:
+    def test_scheduling_fused_dag_completes(self, dag):
+        fusion = merge_schur_tasks(dag)
+        r = make_scheduler("trojan", fusion.dag, EstimateBackend(),
+                           GPUCostModel(RTX5090)).run()
+        assert r.task_count == fusion.dag.n_tasks
+
+    def test_fused_backend_runs_all_members(self, dag):
+        fusion = merge_schur_tasks(dag)
+        seen = []
+
+        class Spy:
+            def run_task(self, task, atomic):
+                from repro.kernels.tilekernels import KernelStats
+
+                seen.append(task.tid)
+                return KernelStats(flops=1, bytes=1)
+
+        backend = FusedBackend(Spy(), fusion, dag)
+        for t in fusion.dag.tasks:
+            backend.run_task(t, False)
+        assert sorted(seen) == list(range(dag.n_tasks))
+
+    def test_superlu_integration_identical_factors(self, medium_poisson):
+        base = SuperLUSolver(medium_poisson, max_supernode=8,
+                             scheduler="serial").factorize()
+        fused = SuperLUSolver(medium_poisson, max_supernode=8,
+                              scheduler="trojan",
+                              merge_schur=True).factorize()
+        assert np.allclose(base.L.to_dense(), fused.L.to_dense())
+        assert np.allclose(base.U.to_dense(), fused.U.to_dense())
+
+    def test_fusion_reduces_scheduled_tasks(self):
+        a = circuit_like(200, seed=9)
+        base = SuperLUSolver(a, scheduler="serial").factorize()
+        plain = resimulate(base, "trojan", RTX5090)
+        fused = resimulate(base, "trojan", RTX5090, merge_schur=True)
+        assert fused.task_count < plain.task_count
+        assert fused.total_flops == plain.total_flops
+        assert fused.sched_overhead < plain.sched_overhead

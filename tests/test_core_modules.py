@@ -1,0 +1,269 @@
+"""Unit tests for the four Trojan Horse modules (Prioritizer, Container,
+Collector, Executor) in isolation."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BlockTaskMapping,
+    Collector,
+    Container,
+    Executor,
+    Prioritizer,
+    ReplayBackend,
+    Task,
+    TaskType,
+    build_block_dag,
+)
+from repro.core.executor import EstimateBackend
+from repro.gpusim import GPUCostModel, GPUSpec, RTX5090
+from repro.kernels.tilekernels import KernelStats
+from repro.matrices import poisson2d
+from repro.sparse import uniform_partition
+from repro.symbolic import block_fill
+
+
+def _make_dag():
+    a = poisson2d(8)
+    part = uniform_partition(64, 8)
+    return build_block_dag(block_fill(a, part), part)
+
+
+def _task(tid, ttype=TaskType.SSSSM, i=0, j=0, k=0, rows=8, cols=8):
+    return Task(tid=tid, type=ttype, k=k, i=i, j=j, rows=rows, cols=cols,
+                nnz=rows * cols, flops_est=100, bytes_est=800)
+
+
+class TestPrioritizer:
+    def test_pops_longest_chain_first(self):
+        dag = _make_dag()
+        cp = dag.critical_path_lengths()
+        prio = Prioritizer(dag, cp)
+        ready = dag.initial_ready()
+        prio.push_many(ready)
+        popped = [prio.pop_most_urgent() for _ in range(len(ready))]
+        cps = [cp[t] for t in popped]
+        assert cps == sorted(cps, reverse=True)
+
+    def test_distance_breaks_ties(self):
+        dag = _make_dag()
+        cp = np.ones(dag.n_tasks, dtype=np.int64)  # all chains equal
+        prio = Prioritizer(dag, cp)
+        # two ready tasks with different distances
+        far = next(t for t in dag.tasks if t.distance > 0)
+        near = next(t for t in dag.tasks if t.distance == 0)
+        prio.push_many([far.tid, near.tid])
+        assert prio.pop_most_urgent() == near.tid
+
+    def test_critical_test_relative_to_ready_pool(self):
+        dag = _make_dag()
+        cp = dag.critical_path_lengths()
+        prio = Prioritizer(dag, cp)
+        prio.push_many(dag.initial_ready())
+        top = prio.pop_most_urgent()
+        assert prio.is_critical(top)
+
+    def test_slack_widens_critical_set(self):
+        dag = _make_dag()
+        cp = dag.critical_path_lengths()
+        strict = Prioritizer(dag, cp, critical_slack=0)
+        loose = Prioritizer(dag, cp, critical_slack=10 ** 6)
+        ready = dag.initial_ready()
+        strict.push_many(ready)
+        loose.push_many(ready)
+        strict_crit = sum(strict.is_critical(strict.pop_most_urgent())
+                          for _ in range(len(ready)))
+        loose_crit = sum(loose.is_critical(loose.pop_most_urgent())
+                         for _ in range(len(ready)))
+        assert loose_crit >= strict_crit
+        assert loose_crit == len(ready)
+
+    def test_drain_empties_pool(self):
+        dag = _make_dag()
+        prio = Prioritizer(dag, dag.critical_path_lengths())
+        prio.push_many(dag.initial_ready())
+        drained = prio.drain()
+        assert not prio.has_ready
+        assert len(drained) == len(dag.initial_ready())
+
+    def test_mismatched_cp_rejected(self):
+        dag = _make_dag()
+        with pytest.raises(ValueError):
+            Prioritizer(dag, np.ones(3, dtype=np.int64))
+
+
+class TestContainer:
+    def test_pops_nearest_diagonal_first(self):
+        c = Container()
+        far = _task(1, i=0, j=5)
+        near = _task(2, i=2, j=3)
+        c.push(far)
+        c.push(near)
+        assert c.pop() == 2
+
+    def test_urgent_tasks_first_regardless_of_distance(self):
+        c = Container()
+        near = _task(1, i=0, j=0)
+        far_urgent = _task(2, i=0, j=9)
+        c.push(near)
+        c.push(far_urgent, urgent=True)
+        assert c.pop() == 2
+
+    def test_fifo_among_equal_priority(self):
+        c = Container()
+        a = _task(1, i=0, j=1, k=0)
+        b = _task(2, i=1, j=2, k=0)
+        c.push(a)
+        c.push(b)
+        assert c.pop() == 1
+
+    def test_earlier_step_first(self):
+        c = Container()
+        late = _task(1, i=5, j=6, k=5)
+        early = _task(2, i=1, j=2, k=1)
+        c.push(late)
+        c.push(early)
+        assert c.pop() == 2
+
+    def test_peek_does_not_remove(self):
+        c = Container()
+        c.push(_task(7))
+        assert c.peek() == 7
+        assert len(c) == 1
+
+    def test_is_empty(self):
+        c = Container()
+        assert c.is_empty
+        c.push(_task(1))
+        assert not c.is_empty
+        c.pop()
+        assert c.is_empty
+
+
+class TestCollector:
+    def _gpu(self, sms=4, blocks_per_sm=2, shmem_kb=1):
+        return GPUSpec("toy", sm_count=sms, fp64_gflops=100, mem_bw_gbs=100,
+                       memory_gb=1, shared_mem_per_sm_kb=shmem_kb,
+                       max_blocks_per_sm=blocks_per_sm)
+
+    def test_block_budget_enforced(self):
+        coll = Collector(self._gpu(sms=4, blocks_per_sm=2))  # 8 blocks
+        t1 = _task(1, rows=8, cols=6)   # SSSSM: 6 blocks
+        t2 = _task(2, rows=8, cols=6)
+        assert coll.try_push(t1)
+        assert not coll.try_push(t2)  # 12 > 8
+
+    def test_oversized_task_runs_alone(self):
+        coll = Collector(self._gpu(sms=1, blocks_per_sm=1))  # 1 block budget
+        huge = _task(1, rows=100, cols=100)
+        assert coll.try_push(huge)
+        assert coll.is_full
+
+    def test_shared_memory_budget_enforced(self):
+        gpu = self._gpu(sms=2, blocks_per_sm=1000, shmem_kb=1)  # 2 KiB
+        coll = Collector(gpu)
+        # GETRF rows=32 → 32*8=256 B per block, 4 cols → 1 KiB
+        t1 = Task(tid=1, type=TaskType.GETRF, k=0, i=0, j=0, rows=32, cols=4,
+                  nnz=128)
+        t2 = Task(tid=2, type=TaskType.GETRF, k=1, i=1, j=1, rows=32, cols=4,
+                  nnz=128)
+        t3 = Task(tid=3, type=TaskType.GETRF, k=2, i=2, j=2, rows=32, cols=4,
+                  nnz=128)
+        assert coll.try_push(t1)
+        assert coll.try_push(t2)
+        assert not coll.try_push(t3)
+
+    def test_max_tasks_cap(self):
+        coll = Collector(self._gpu(sms=100, blocks_per_sm=100), max_tasks=2)
+        assert coll.try_push(_task(1))
+        assert coll.try_push(_task(2))
+        assert not coll.try_push(_task(3))
+        assert coll.is_full
+
+    def test_reset_clears_state(self):
+        coll = Collector(self._gpu())
+        coll.try_push(_task(1))
+        coll.reset()
+        assert coll.is_empty
+        assert coll.cuda_blocks == 0
+        assert coll.shared_mem_bytes == 0
+
+    def test_tracks_usage(self):
+        coll = Collector(self._gpu(sms=100, blocks_per_sm=100, shmem_kb=1000))
+        t = _task(1, rows=8, cols=6)
+        coll.try_push(t)
+        assert coll.cuda_blocks == t.cuda_blocks
+        assert coll.shared_mem_bytes == t.shared_mem_bytes
+
+
+class TestBlockTaskMapping:
+    def test_layout_and_lookup(self):
+        # the Figure-7 example: 10, 9, 11, 15 blocks
+        tasks = [
+            Task(0, TaskType.GETRF, 0, 0, 0, rows=10, cols=10, nnz=100),
+            Task(1, TaskType.TSTRF, 0, 1, 0, rows=9, cols=10, nnz=90),
+            Task(2, TaskType.GEESM, 0, 0, 1, rows=10, cols=11, nnz=110),
+            Task(3, TaskType.SSSSM, 0, 1, 1, rows=9, cols=15, nnz=135),
+        ]
+        m = BlockTaskMapping.build(tasks)
+        assert m.total_blocks == 45
+        assert np.array_equal(m.starts, [0, 10, 19, 30])
+        assert m.task_of_block(0) == 0
+        assert m.task_of_block(9) == 0
+        assert m.task_of_block(10) == 1
+        assert m.task_of_block(18) == 1
+        assert m.task_of_block(19) == 2
+        assert m.task_of_block(29) == 2
+        assert m.task_of_block(30) == 3
+        assert m.task_of_block(44) == 3
+
+    def test_out_of_range_rejected(self):
+        m = BlockTaskMapping.build([_task(0)])
+        with pytest.raises(IndexError):
+            m.task_of_block(m.total_blocks)
+        with pytest.raises(IndexError):
+            m.task_of_block(-1)
+
+    def test_every_block_maps_consistently(self):
+        tasks = [_task(i, rows=3 + i, cols=2 + i) for i in range(6)]
+        m = BlockTaskMapping.build(tasks)
+        for b in range(m.total_blocks):
+            ti = m.task_of_block(b)
+            assert m.starts[ti] <= b < m.starts[ti] + tasks[ti].cuda_blocks
+
+
+class TestExecutor:
+    def test_empty_batch_rejected(self):
+        ex = Executor(GPUCostModel(RTX5090), EstimateBackend())
+        with pytest.raises(ValueError):
+            ex.run_batch([], 0.0)
+
+    def test_batch_record_accounting(self):
+        ex = Executor(GPUCostModel(RTX5090), EstimateBackend())
+        tasks = [_task(i) for i in range(5)]
+        rec = ex.run_batch(tasks, 1.0)
+        assert rec.n_tasks == 5
+        assert rec.t_start == 1.0
+        assert rec.t_end > 1.0
+        assert rec.flops == sum(t.flops_est for t in tasks)
+        assert rec.types["SSSSM"] == 5
+
+    def test_atomic_conflict_detection(self):
+        # two SSSSM on the same target: atomic accounting adds bytes
+        ex = Executor(GPUCostModel(RTX5090), EstimateBackend())
+        same = [_task(0, i=3, j=4, k=0), _task(1, i=3, j=4, k=1)]
+        different = [_task(0, i=3, j=4, k=0), _task(1, i=3, j=5, k=1)]
+        rec_conflict = ex.run_batch(same, 0.0)
+        rec_clean = ex.run_batch(different, 0.0)
+        assert rec_conflict.bytes > rec_clean.bytes
+
+    def test_replay_backend_returns_recorded(self):
+        stats = {0: KernelStats(flops=123, bytes=456)}
+        backend = ReplayBackend(stats)
+        out = backend.run_task(_task(0), False)
+        assert out.flops == 123 and out.bytes == 456
+
+    def test_gflops_property(self):
+        ex = Executor(GPUCostModel(RTX5090), EstimateBackend())
+        rec = ex.run_batch([_task(0)], 0.0)
+        assert rec.gflops == pytest.approx(rec.flops / rec.duration / 1e9)

@@ -1,0 +1,218 @@
+"""Unit tests for the four scheduling policies on shared DAGs."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    SCHEDULER_NAMES,
+    build_block_dag,
+    make_scheduler,
+    parallelism_profile,
+    dag_statistics,
+)
+from repro.core.executor import EstimateBackend
+from repro.core.task import TaskType
+from repro.gpusim import GPUCostModel, RTX5060TI, RTX5090
+from repro.matrices import circuit_like, poisson2d
+from repro.sparse import uniform_partition
+from repro.symbolic import block_fill
+
+
+@pytest.fixture(scope="module")
+def dag():
+    from repro.ordering import compute_ordering
+    from repro.sparse import permute_symmetric
+
+    a = circuit_like(180, seed=2)
+    b = permute_symmetric(a, compute_ordering(a, "mindeg"))
+    part = uniform_partition(180, 12)
+    return build_block_dag(block_fill(b, part), part, sparse_tiles=True)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return GPUCostModel(RTX5090)
+
+
+def _completion_order(result):
+    order = {}
+    for rank, batch in enumerate(sorted(result.batches,
+                                        key=lambda b: b.t_end)):
+        for tid in batch.task_ids:
+            order[tid] = rank
+    return order
+
+
+@pytest.mark.parametrize("name", SCHEDULER_NAMES)
+class TestAllSchedulers:
+    def test_every_task_executed_once(self, name, dag, model):
+        r = make_scheduler(name, dag, EstimateBackend(), model).run()
+        executed = [tid for b in r.batches for tid in b.task_ids]
+        assert sorted(executed) == list(range(dag.n_tasks))
+
+    def test_dependencies_respected(self, name, dag, model):
+        r = make_scheduler(name, dag, EstimateBackend(), model).run()
+        # map each task to its batch completion time
+        end_of = {}
+        start_of = {}
+        for b in r.batches:
+            for tid in b.task_ids:
+                end_of[tid] = b.t_end
+                start_of[tid] = b.t_start
+        for t in range(dag.n_tasks):
+            for s in dag.successors[t]:
+                assert start_of[s] >= end_of[t] - 1e-12, (
+                    f"{name}: task {s} started before dependency {t} finished"
+                )
+
+    def test_total_flops_invariant(self, name, dag, model):
+        # "the total floating-point operations remain unchanged" (§4.3)
+        r = make_scheduler(name, dag, EstimateBackend(), model).run()
+        assert r.total_flops == sum(t.flops_est for t in dag.tasks)
+
+    def test_positive_time(self, name, dag, model):
+        r = make_scheduler(name, dag, EstimateBackend(), model).run()
+        assert r.total_time > 0
+        assert r.kernel_time > 0
+
+    def test_deterministic(self, name, dag, model):
+        r1 = make_scheduler(name, dag, EstimateBackend(), model).run()
+        r2 = make_scheduler(name, dag, EstimateBackend(), model).run()
+        assert r1.kernel_count == r2.kernel_count
+        assert r1.total_time == pytest.approx(r2.total_time)
+
+
+class TestShapes:
+    """The performance relationships the paper's evaluation reports."""
+
+    def test_trojan_beats_serial(self, dag, model):
+        serial = make_scheduler("serial", dag, EstimateBackend(), model).run()
+        trojan = make_scheduler("trojan", dag, EstimateBackend(), model).run()
+        assert trojan.total_time < serial.total_time
+
+    def test_trojan_beats_streams(self, dag, model):
+        streams = make_scheduler("streams", dag, EstimateBackend(), model).run()
+        trojan = make_scheduler("trojan", dag, EstimateBackend(), model).run()
+        assert trojan.total_time < streams.total_time
+
+    def test_streams_beat_serial(self, dag, model):
+        serial = make_scheduler("serial", dag, EstimateBackend(), model).run()
+        streams = make_scheduler("streams", dag, EstimateBackend(), model).run()
+        assert streams.kernel_time < serial.kernel_time
+
+    def test_trojan_no_worse_than_levelbatch(self, dag, model):
+        lb = make_scheduler("levelbatch", dag, EstimateBackend(), model).run()
+        trojan = make_scheduler("trojan", dag, EstimateBackend(), model).run()
+        # cross-level aggregation can only produce fewer-or-equal launches
+        assert trojan.kernel_count <= lb.kernel_count
+
+    def test_kernel_count_reduction_order_of_magnitude(self, dag, model):
+        # Tables 5/6: counts drop to a few percent
+        serial = make_scheduler("serial", dag, EstimateBackend(), model).run()
+        trojan = make_scheduler("trojan", dag, EstimateBackend(), model).run()
+        assert trojan.kernel_count / serial.kernel_count < 0.25
+
+    def test_bigger_gpu_amplified_by_trojan(self, dag):
+        small, big = GPUCostModel(RTX5060TI), GPUCostModel(RTX5090)
+        ratios = {}
+        for name in ("serial", "trojan"):
+            t_small = make_scheduler(name, dag, EstimateBackend(), small).run()
+            t_big = make_scheduler(name, dag, EstimateBackend(), big).run()
+            ratios[name] = t_small.kernel_time / t_big.kernel_time
+        # Figure 9: the 5090's advantage grows once batching fills it
+        assert ratios["trojan"] > ratios["serial"]
+
+    def test_serial_kernel_count_equals_tasks(self, dag, model):
+        r = make_scheduler("serial", dag, EstimateBackend(), model).run()
+        assert r.kernel_count == dag.n_tasks
+
+    def test_levelbatch_only_homogeneous_batches(self, dag, model):
+        r = make_scheduler("levelbatch", dag, EstimateBackend(), model).run()
+        for b in r.batches:
+            assert sum(1 for v in b.types.values() if v > 0) == 1
+
+    def test_trojan_mixes_types_in_batches(self, dag, model):
+        r = make_scheduler("trojan", dag, EstimateBackend(), model).run()
+        mixed = sum(1 for b in r.batches
+                    if sum(1 for v in b.types.values() if v > 0) > 1)
+        assert mixed > 0  # heterogeneous batching is the point (Figure 4)
+
+    def test_trojan_batches_respect_collector_budget(self, dag, model):
+        r = make_scheduler("trojan", dag, EstimateBackend(), model).run()
+        budget = model.gpu.max_resident_blocks
+        for b in r.batches:
+            # a single oversized task may exceed the budget; batches with
+            # several tasks must respect it
+            if b.n_tasks > 1:
+                assert b.cuda_blocks <= budget
+
+
+class TestScheduleResult:
+    def test_summary_keys(self, dag, model):
+        r = make_scheduler("trojan", dag, EstimateBackend(), model).run()
+        s = r.summary()
+        assert {"scheduler", "kernels", "total_time_s", "gflops"} <= set(s)
+
+    def test_gflops_timeline_monotone_time(self, dag, model):
+        r = make_scheduler("trojan", dag, EstimateBackend(), model).run()
+        t, g = r.gflops_timeline()
+        assert np.all(np.diff(t) >= 0)
+        assert np.all(g >= 0)
+
+    def test_mean_batch_size(self, dag, model):
+        r = make_scheduler("serial", dag, EstimateBackend(), model).run()
+        assert r.mean_batch_size == 1.0
+
+
+class TestStaticAnalysis:
+    def test_profile_sums_to_tasks(self, dag):
+        prof = parallelism_profile(dag)
+        assert prof.sum() == dag.n_tasks
+
+    def test_statistics_consistent(self, dag):
+        stats = dag_statistics(dag)
+        assert stats["tasks"] == dag.n_tasks
+        assert stats["max_parallel"] >= stats["median"]
+        assert stats["time_steps"] == stats["critical_path"]
+
+    def test_wide_dag_has_parallelism(self):
+        a = circuit_like(120, seed=6)
+        part = uniform_partition(120, 12)
+        dag = build_block_dag(block_fill(a, part), part)
+        stats = dag_statistics(dag)
+        assert stats["max_parallel"] > 1
+
+
+class TestValidateSchedule:
+    def test_accepts_valid_schedules(self, dag, model):
+        from repro.core import validate_schedule
+
+        for name in SCHEDULER_NAMES:
+            r = make_scheduler(name, dag, EstimateBackend(), model).run()
+            validate_schedule(dag, r.batches)
+
+    def test_rejects_missing_task(self, dag, model):
+        from repro.core import validate_schedule
+
+        r = make_scheduler("serial", dag, EstimateBackend(), model).run()
+        with pytest.raises(AssertionError, match="never executed"):
+            validate_schedule(dag, r.batches[:-1])
+
+    def test_rejects_duplicate_task(self, dag, model):
+        from repro.core import validate_schedule
+
+        r = make_scheduler("serial", dag, EstimateBackend(), model).run()
+        with pytest.raises(AssertionError, match="twice"):
+            validate_schedule(dag, r.batches + [r.batches[0]])
+
+    def test_rejects_dependency_violation(self, dag, model):
+        import copy
+
+        from repro.core import validate_schedule
+
+        r = make_scheduler("serial", dag, EstimateBackend(), model).run()
+        batches = [copy.copy(b) for b in r.batches]
+        batches[-1].t_start = -1.0  # pretend the last task ran first
+        if any(dag.pred_count[t] > 0 for t in batches[-1].task_ids):
+            with pytest.raises(AssertionError, match="before"):
+                validate_schedule(dag, batches)

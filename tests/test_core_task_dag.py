@@ -1,0 +1,171 @@
+"""Unit tests for Task, TaskType and the factorisation DAG."""
+
+import numpy as np
+import pytest
+
+from repro.core import Task, TaskDAG, TaskType, build_block_dag
+from repro.matrices import circuit_like, poisson2d
+from repro.sparse import uniform_partition
+from repro.symbolic import block_fill
+
+
+def _dag_for(n=64, bs=8, builder=poisson2d, arg=8):
+    a = builder(arg)
+    part = uniform_partition(a.nrows, bs)
+    bf = block_fill(a, part)
+    return build_block_dag(bf, part), bf, part
+
+
+class TestTask:
+    def _t(self, ttype, i=2, j=5, rows=8, cols=6):
+        return Task(tid=0, type=ttype, k=1, i=i, j=j, rows=rows, cols=cols,
+                    nnz=rows * cols)
+
+    def test_cuda_blocks_mapping(self):
+        # Figure 7: GETRF/GEESM/SSSSM one block per column, TSTRF per row
+        assert self._t(TaskType.GETRF).cuda_blocks == 6
+        assert self._t(TaskType.GEESM).cuda_blocks == 6
+        assert self._t(TaskType.SSSSM).cuda_blocks == 6
+        assert self._t(TaskType.TSTRF).cuda_blocks == 8
+
+    def test_distance_metric(self):
+        assert self._t(TaskType.SSSSM, i=2, j=5).distance == 3
+        assert self._t(TaskType.GETRF, i=4, j=4).distance == 0
+
+    def test_shared_mem_scales_with_blocks(self):
+        small = self._t(TaskType.GETRF, rows=8, cols=4)
+        large = self._t(TaskType.GETRF, rows=8, cols=16)
+        assert large.shared_mem_bytes > small.shared_mem_bytes
+
+    def test_oversized_vector_falls_back_to_global(self):
+        t = self._t(TaskType.GETRF, rows=10 ** 5, cols=4)
+        assert t.shared_mem_bytes == 0
+
+    def test_minimum_one_block(self):
+        t = self._t(TaskType.GETRF, rows=0, cols=0)
+        assert t.cuda_blocks == 1
+
+
+class TestDAGConstruction:
+    def test_task_counts_consistent(self):
+        dag, bf, part = _dag_for()
+        nb = part.nblocks
+        counts = dag.counts_by_type()
+        assert counts["GETRF"] == nb
+        n_lower = int(np.tril(bf, -1).sum())
+        n_upper = int(np.triu(bf, 1).sum())
+        assert counts["TSTRF"] == n_lower
+        assert counts["GEESM"] == n_upper
+
+    def test_ssssm_count_formula(self):
+        dag, bf, part = _dag_for()
+        nb = part.nblocks
+        expect = sum(
+            int(bf[k + 1:, k].sum()) * int(bf[k, k + 1:].sum())
+            for k in range(nb)
+        )
+        assert dag.counts_by_type()["SSSSM"] == expect
+
+    def test_acyclic(self):
+        dag, _, _ = _dag_for()
+        dag.validate()
+
+    def test_first_getrf_initially_ready(self):
+        dag, _, _ = _dag_for()
+        ready = dag.initial_ready()
+        getrf0 = [t for t in ready if dag.tasks[t].type == TaskType.GETRF
+                  and dag.tasks[t].k == 0]
+        assert len(getrf0) == 1
+
+    def test_dependencies_match_paper_rules(self):
+        dag, _, _ = _dag_for(bs=16)
+        by_coords = {}
+        for t in dag.tasks:
+            by_coords.setdefault((t.type, t.k, t.i, t.j), t.tid)
+        for t in dag.tasks:
+            if t.type == TaskType.SSSSM:
+                tstrf = by_coords[(TaskType.TSTRF, t.k, t.i, t.k)]
+                geesm = by_coords[(TaskType.GEESM, t.k, t.k, t.j)]
+                assert t.tid in dag.successors[tstrf]
+                assert t.tid in dag.successors[geesm]
+
+    def test_getrf_waits_for_schur_updates(self):
+        dag, bf, part = _dag_for()
+        # any GETRF(k) with k>0 whose tile receives updates must not be
+        # initially ready
+        ready = set(dag.initial_ready())
+        for t in dag.tasks:
+            if t.type == TaskType.GETRF and dag.pred_count[t.tid] > 0:
+                assert t.tid not in ready
+
+    def test_sparse_flag_propagates(self):
+        a = poisson2d(8)
+        part = uniform_partition(64, 8)
+        bf = block_fill(a, part)
+        dag = build_block_dag(bf, part, sparse_tiles=True)
+        assert all(t.sparse for t in dag.tasks)
+
+    def test_owner_function_applied(self):
+        a = poisson2d(8)
+        part = uniform_partition(64, 8)
+        bf = block_fill(a, part)
+        dag = build_block_dag(bf, part, owner_of=lambda i, j: (i + j) % 3)
+        for t in dag.tasks:
+            assert t.owner == (t.i + t.j) % 3
+
+    def test_fill_shape_mismatch_rejected(self):
+        part = uniform_partition(64, 8)
+        with pytest.raises(ValueError):
+            build_block_dag(np.eye(3, dtype=bool), part)
+
+    def test_tile_nnz_bounds_estimates(self):
+        a = poisson2d(8)
+        part = uniform_partition(64, 8)
+        bf = block_fill(a, part)
+        tiny = {key: 1 for key in zip(*np.nonzero(bf))}
+        dag_sparse = build_block_dag(bf, part, tile_nnz=tiny, sparse_tiles=True)
+        dag_dense = build_block_dag(bf, part, sparse_tiles=False)
+        assert dag_sparse.total_flops_est() < dag_dense.total_flops_est()
+
+
+class TestDAGAnalysis:
+    def test_level_schedule_partitions_tasks(self):
+        dag, _, _ = _dag_for()
+        levels = dag.level_schedule()
+        all_tids = np.concatenate(levels)
+        assert np.array_equal(np.sort(all_tids), np.arange(dag.n_tasks))
+
+    def test_level_schedule_respects_deps(self):
+        dag, _, _ = _dag_for()
+        levels = dag.level_schedule()
+        level_of = np.empty(dag.n_tasks, dtype=int)
+        for d, lvl in enumerate(levels):
+            level_of[lvl] = d
+        for t in range(dag.n_tasks):
+            for s in dag.successors[t]:
+                assert level_of[s] > level_of[t]
+
+    def test_critical_path_decreases_along_edges(self):
+        dag, _, _ = _dag_for()
+        cp = dag.critical_path_lengths()
+        for t in range(dag.n_tasks):
+            for s in dag.successors[t]:
+                assert cp[t] >= cp[s] + 1
+
+    def test_critical_path_equals_level_count(self):
+        dag, _, _ = _dag_for()
+        assert dag.critical_path_lengths().max() == len(dag.level_schedule())
+
+    def test_sinks_have_cp_one(self):
+        dag, _, _ = _dag_for()
+        cp = dag.critical_path_lengths()
+        sinks = [t for t in range(dag.n_tasks) if not dag.successors[t]]
+        assert all(cp[t] == 1 for t in sinks)
+
+    def test_irregular_matrix_dag(self):
+        a = circuit_like(96, seed=4)
+        part = uniform_partition(96, 12)
+        bf = block_fill(a, part)
+        dag = build_block_dag(bf, part, sparse_tiles=True)
+        dag.validate()
+        assert dag.n_tasks > part.nblocks

@@ -1,0 +1,137 @@
+"""Edge cases and failure injection for the numeric engine and solvers."""
+
+import numpy as np
+import pytest
+
+from repro.core.executor import EstimateBackend
+from repro.core.baselines import make_scheduler
+from repro.gpusim import GPUCostModel, RTX5090
+from repro.matrices import poisson2d, tridiagonal
+from repro.solvers import (
+    NumericEngine,
+    PanguLUSolver,
+    SuperLUSolver,
+    resimulate,
+    scale_stats,
+)
+from repro.sparse import CSRMatrix, uniform_partition
+from repro.sparse.blocking import partition_from_boundaries
+from repro.kernels.tilekernels import KernelStats
+
+
+class TestEngineConstruction:
+    def test_rejects_rectangular(self):
+        with pytest.raises(ValueError):
+            NumericEngine(CSRMatrix.empty((3, 4)), uniform_partition(3, 2))
+
+    def test_rejects_partition_mismatch(self, small_spd):
+        with pytest.raises(ValueError):
+            NumericEngine(small_spd, uniform_partition(63, 8))
+
+    def test_single_block_partition(self, small_spd):
+        # the whole matrix as one tile: exactly one GETRF task
+        engine = NumericEngine(small_spd, uniform_partition(64, 64))
+        assert engine.dag.n_tasks == 1
+        r = make_scheduler("trojan", engine.dag, EstimateBackend(),
+                           GPUCostModel(RTX5090)).run()
+        assert r.kernel_count == 1
+
+    def test_one_by_one_blocks(self):
+        # scalar tiles: the DAG degenerates to element-level elimination
+        a = tridiagonal(6)
+        engine = NumericEngine(a, uniform_partition(6, 1))
+        engine.dag.validate()
+        counts = engine.dag.counts_by_type()
+        assert counts["GETRF"] == 6
+
+    def test_irregular_partition(self, small_spd):
+        part = partition_from_boundaries([0, 5, 20, 40, 64])
+        engine = NumericEngine(small_spd, part, sparse_tiles=True)
+        engine.dag.validate()
+
+    def test_tiles_cover_block_fill(self, small_spd):
+        engine = NumericEngine(small_spd, uniform_partition(64, 8))
+        bi, bj = np.nonzero(engine.bfill)
+        assert set(zip(bi.tolist(), bj.tolist())) == set(engine.tiles)
+
+
+class TestFactorExtraction:
+    def test_l_unit_diagonal(self, medium_poisson):
+        run = PanguLUSolver(medium_poisson, block_size=16).factorize()
+        assert np.allclose(run.L.diagonal(), 1.0)
+
+    def test_u_upper_triangular(self, medium_poisson):
+        run = PanguLUSolver(medium_poisson, block_size=16).factorize()
+        rows = np.repeat(np.arange(run.U.nrows), run.U.row_lengths())
+        assert np.all(rows <= run.U.indices)
+
+    def test_l_lower_triangular(self, medium_poisson):
+        run = PanguLUSolver(medium_poisson, block_size=16).factorize()
+        rows = np.repeat(np.arange(run.L.nrows), run.L.row_lengths())
+        assert np.all(rows >= run.L.indices)
+
+    def test_factor_nnz_bounded_by_prediction(self, medium_poisson):
+        run = PanguLUSolver(medium_poisson, block_size=16).factorize()
+        assert run.L.nnz + run.U.nnz - run.L.nrows <= run.fill_nnz * 1.01
+
+
+class TestFailureInjection:
+    def test_zero_pivot_surfaces(self):
+        # a structurally factorisable but numerically singular matrix must
+        # fail loudly in the GETRF kernel, not corrupt silently
+        dense = np.eye(8)
+        dense[3, 3] = 0.0
+        dense[3, 4] = dense[4, 3] = 1.0
+        a = CSRMatrix.from_dense(dense)
+        solver = PanguLUSolver(a, block_size=4, ordering="natural")
+        with pytest.raises(ZeroDivisionError):
+            solver.factorize()
+
+    def test_replay_missing_stats_fails(self, medium_poisson):
+        run = PanguLUSolver(medium_poisson, block_size=16).factorize()
+        with pytest.raises(KeyError):
+            resimulate(run, "trojan", RTX5090, stats={})
+
+    def test_scale_stats_rejects_nonpositive(self, medium_poisson):
+        run = PanguLUSolver(medium_poisson, block_size=16).factorize()
+        with pytest.raises(ValueError):
+            scale_stats(run.stats, 0.0)
+
+
+class TestScaleStats:
+    def test_flops_scaled_exactly(self):
+        stats = {0: KernelStats(flops=100, bytes=1000)}
+        out = scale_stats(stats, 8.0)
+        assert out[0].flops == 800
+        assert out[0].bytes == int(1000 * 8 ** (2 / 3))
+
+    def test_custom_byte_factor(self):
+        stats = {0: KernelStats(flops=100, bytes=1000)}
+        out = scale_stats(stats, 8.0, byte_factor=2.0)
+        assert out[0].bytes == 2000
+
+    def test_original_untouched(self, medium_poisson):
+        run = PanguLUSolver(medium_poisson, block_size=16).factorize()
+        before = run.stats[0].flops
+        scale_stats(run.stats, 512.0)
+        assert run.stats[0].flops == before
+
+
+class TestOrderingIntegration:
+    @pytest.mark.parametrize("ordering", ["natural", "rcm", "mindeg", "nd"])
+    def test_every_ordering_solves(self, ordering, rng):
+        a = poisson2d(10)
+        b = rng.standard_normal(a.nrows)
+        solver = PanguLUSolver(a, block_size=16, ordering=ordering)
+        run = solver.factorize()
+        x = run.solve(b)
+        assert run.residual(a, b, x) < 1e-10
+
+    def test_superlu_supernodes_follow_ordering(self):
+        a = poisson2d(10)
+        r_nat = SuperLUSolver(a, ordering="natural",
+                              max_supernode=8).factorize()
+        r_md = SuperLUSolver(a, ordering="mindeg",
+                             max_supernode=8).factorize()
+        # different orderings → different fill → different task DAGs
+        assert r_nat.fill_nnz != r_md.fill_nnz

@@ -1,0 +1,176 @@
+"""Unit tests for the GPU/CPU cost model."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import (
+    A100_40GB,
+    CPUCostModel,
+    GPU_PRESETS,
+    GPUCostModel,
+    GPUSpec,
+    H100_SXM,
+    KernelLaunch,
+    MI50,
+    RTX5060TI,
+    RTX5090,
+    StreamSimulator,
+    XEON_6462C,
+)
+
+
+class TestSpecs:
+    def test_table1_values(self):
+        # Table 1 — scale-up platforms
+        assert RTX5060TI.fp64_gflops == 370.0
+        assert RTX5060TI.mem_bw_gbs == 450.0
+        assert RTX5060TI.memory_gb == 16.0
+        assert RTX5090.fp64_gflops == 1640.0
+        assert RTX5090.mem_bw_gbs == 1790.0
+        assert A100_40GB.fp64_gflops == 9750.0
+        assert A100_40GB.memory_gb == 40.0
+
+    def test_table3_values(self):
+        # Table 3 — scale-out platforms
+        assert H100_SXM.fp64_gflops == 25610.0
+        assert H100_SXM.memory_gb == 80.0
+        assert MI50.fp64_gflops == 6710.0
+        assert MI50.mem_bw_gbs == 1020.0
+
+    def test_core_counts_match_paper(self):
+        assert RTX5060TI.sm_count * 128 == 4608
+        assert RTX5090.sm_count * 128 == 21760
+        assert H100_SXM.sm_count * 128 == 14592
+        assert MI50.sm_count * 64 == 3840
+
+    def test_presets_lookup(self):
+        assert set(GPU_PRESETS) == {"rtx5060ti", "rtx5090", "a100", "h100", "mi50"}
+
+    def test_budget_properties(self):
+        g = GPUSpec("toy", sm_count=10, fp64_gflops=100, mem_bw_gbs=100,
+                    memory_gb=1, shared_mem_per_sm_kb=64, max_blocks_per_sm=4)
+        assert g.max_resident_blocks == 40
+        assert g.shared_mem_total_bytes == 10 * 64 * 1024
+
+    def test_cpu_spec(self):
+        assert XEON_6462C.cores == 32
+
+
+class TestCostModel:
+    def setup_method(self):
+        self.model = GPUCostModel(RTX5090)
+
+    def test_empty_launch_costs_overhead_only(self):
+        t = self.model.launch_time(KernelLaunch())
+        assert t == pytest.approx(RTX5090.launch_overhead_us * 1e-6)
+
+    def test_occupancy_saturates_at_one(self):
+        assert self.model.occupancy(10 ** 6) == 1.0
+        assert self.model.occupancy(RTX5090.sm_count) == 1.0
+
+    def test_occupancy_fractional(self):
+        assert self.model.occupancy(17) == pytest.approx(17 / 170)
+
+    def test_small_kernels_launch_bound(self):
+        # a tiny task's time is dominated by the launch overhead
+        small = KernelLaunch()
+        small.add_task(cuda_blocks=2, flops=100, nbytes=800, shared_mem_bytes=0)
+        t = self.model.launch_time(small)
+        assert t < 2 * RTX5090.launch_overhead_us * 1e-6
+
+    def test_batching_amortises_overhead(self):
+        # 100 tiny tasks: batched must be far cheaper than separate
+        single = KernelLaunch()
+        single.add_task(2, 1000, 8000, 0)
+        separate = 100 * self.model.launch_time(single)
+        batch = KernelLaunch()
+        for _ in range(100):
+            batch.add_task(2, 1000, 8000, 0)
+        assert self.model.launch_time(batch) < separate / 10
+
+    def test_big_gpu_helps_only_at_occupancy(self):
+        small_gpu = GPUCostModel(RTX5060TI)
+        big_gpu = GPUCostModel(RTX5090)
+        # single small kernel: launch-bound, no benefit from the big GPU
+        tiny = KernelLaunch()
+        tiny.add_task(2, 1000, 4000, 0)
+        assert big_gpu.launch_time(tiny) == pytest.approx(
+            small_gpu.launch_time(tiny), rel=0.2)
+        # a saturating batch: big GPU wins roughly by the peak ratio
+        big = KernelLaunch()
+        for _ in range(400):
+            big.add_task(4, 10 ** 6, 100, 0)
+        ratio = small_gpu.launch_time(big) / big_gpu.launch_time(big)
+        assert ratio > 2.0
+
+    def test_memory_bound_branch(self):
+        launch = KernelLaunch()
+        launch.add_task(1000, 10, 10 ** 9, 0)  # tiny flops, huge bytes
+        t = self.model.launch_time(launch)
+        expect = 10 ** 9 / (RTX5090.mem_bw_gbs * 1e9)
+        assert t >= expect
+
+    def test_compute_time_excludes_overhead(self):
+        launch = KernelLaunch()
+        launch.add_task(400, 10 ** 8, 100, 0)
+        assert self.model.compute_time(launch) == pytest.approx(
+            self.model.launch_time(launch) - RTX5090.launch_overhead_us * 1e-6)
+
+    def test_block_efficiency_bounds(self):
+        assert 0.05 <= self.model.block_efficiency(1, 1) <= 1.0
+        assert self.model.block_efficiency(10 ** 9, 1) == 1.0
+
+
+class TestCPUModel:
+    def test_no_launch_overhead_regime(self):
+        cpu = CPUCostModel(XEON_6462C)
+        gpu = GPUCostModel(RTX5090)
+        # tiny task: CPU much cheaper than a GPU launch
+        t_cpu = cpu.task_time(flops=1000, nbytes=4000)
+        tiny = KernelLaunch(); tiny.add_task(2, 1000, 4000, 0)
+        assert t_cpu < gpu.launch_time(tiny) / 5
+
+    def test_monotone_in_flops(self):
+        cpu = CPUCostModel(XEON_6462C)
+        assert cpu.task_time(10 ** 9, 0) > cpu.task_time(10 ** 6, 0)
+
+
+class TestStreams:
+    def test_round_robin_overlap(self):
+        model = GPUCostModel(RTX5090)
+        sim = StreamSimulator(model, n_streams=4)
+        launch = KernelLaunch()
+        launch.add_task(2, 1000, 4000, 0)
+        for _ in range(4):
+            sim.launch(launch)
+        # 4 overlapping kernels end at ~1 kernel duration, not 4
+        assert sim.makespan == pytest.approx(model.launch_time(launch))
+
+    def test_serialises_within_stream(self):
+        model = GPUCostModel(RTX5090)
+        sim = StreamSimulator(model, n_streams=1)
+        launch = KernelLaunch()
+        launch.add_task(2, 1000, 4000, 0)
+        sim.launch(launch)
+        sim.launch(launch)
+        assert sim.makespan == pytest.approx(2 * model.launch_time(launch))
+
+    def test_ready_time_respected(self):
+        model = GPUCostModel(RTX5090)
+        sim = StreamSimulator(model, n_streams=2)
+        launch = KernelLaunch()
+        launch.add_task(2, 1000, 4000, 0)
+        end = sim.launch(launch, ready_time=1.0)
+        assert end >= 1.0
+
+    def test_reset(self):
+        model = GPUCostModel(RTX5090)
+        sim = StreamSimulator(model, n_streams=2)
+        launch = KernelLaunch(); launch.add_task(2, 1000, 4000, 0)
+        sim.launch(launch)
+        sim.reset()
+        assert sim.makespan == 0.0
+
+    def test_rejects_zero_streams(self):
+        with pytest.raises(ValueError):
+            StreamSimulator(GPUCostModel(RTX5090), n_streams=0)

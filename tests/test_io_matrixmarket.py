@@ -1,0 +1,102 @@
+"""Unit tests for the Matrix Market reader/writer."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.io import read_matrix_market, write_matrix_market
+from repro.sparse import CSRMatrix
+
+
+def _read_str(text: str):
+    return read_matrix_market(io.StringIO(text))
+
+
+class TestRead:
+    def test_general_real(self):
+        a = _read_str(
+            "%%MatrixMarket matrix coordinate real general\n"
+            "% comment\n"
+            "2 3 2\n"
+            "1 1 1.5\n"
+            "2 3 -2.0\n"
+        )
+        dense = a.to_dense()
+        assert dense.shape == (2, 3)
+        assert dense[0, 0] == 1.5
+        assert dense[1, 2] == -2.0
+
+    def test_symmetric_expanded(self):
+        a = _read_str(
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "2 2 2\n"
+            "1 1 4.0\n"
+            "2 1 1.0\n"
+        )
+        dense = a.to_dense()
+        assert dense[0, 1] == 1.0 and dense[1, 0] == 1.0
+        assert dense[0, 0] == 4.0
+
+    def test_skew_symmetric(self):
+        a = _read_str(
+            "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+            "2 2 1\n"
+            "2 1 3.0\n"
+        )
+        dense = a.to_dense()
+        assert dense[1, 0] == 3.0 and dense[0, 1] == -3.0
+
+    def test_pattern_entries_get_ones(self):
+        a = _read_str(
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "2 2 2\n"
+            "1 2\n"
+            "2 1\n"
+        )
+        assert np.allclose(a.to_dense(), [[0, 1], [1, 0]])
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(ValueError):
+            _read_str("1 1 0\n")
+
+    def test_unsupported_field_rejected(self):
+        with pytest.raises(ValueError):
+            _read_str("%%MatrixMarket matrix coordinate complex general\n1 1 0\n")
+
+    def test_unsupported_format_rejected(self):
+        with pytest.raises(ValueError):
+            _read_str("%%MatrixMarket matrix array real general\n1 1\n")
+
+    def test_entry_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            _read_str(
+                "%%MatrixMarket matrix coordinate real general\n"
+                "2 2 3\n"
+                "1 1 1.0\n"
+            )
+
+
+class TestRoundtrip:
+    def test_write_read(self, random_sparse, tmp_path):
+        a, dense = random_sparse
+        path = tmp_path / "m.mtx"
+        write_matrix_market(path, a, comment="roundtrip test")
+        back = read_matrix_market(path)
+        assert np.allclose(back.to_dense(), dense)
+
+    def test_write_read_stream(self, random_sparse):
+        a, dense = random_sparse
+        buf = io.StringIO()
+        write_matrix_market(buf, a)
+        buf.seek(0)
+        assert np.allclose(read_matrix_market(buf).to_dense(), dense)
+
+    def test_values_survive_full_precision(self):
+        a = CSRMatrix.from_dense(np.array([[np.pi, 0.0], [0.0, 1 / 3]]))
+        buf = io.StringIO()
+        write_matrix_market(buf, a)
+        buf.seek(0)
+        back = read_matrix_market(buf)
+        assert back.to_dense()[0, 0] == np.pi
+        assert back.to_dense()[1, 1] == 1 / 3

@@ -1,0 +1,215 @@
+"""Unit tests for the dense building blocks and tile kernels."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    dense_getrf,
+    dense_getrf_pivoted,
+    gemm_flops_dense,
+    gemm_update,
+    geesm_kernel,
+    getrf_flops_dense,
+    getrf_flops_sparse,
+    getrf_kernel,
+    ssssm_flops_sparse,
+    ssssm_kernel,
+    trsm_flops_dense,
+    trsm_lower_unit,
+    trsm_upper,
+    tstrf_kernel,
+)
+from repro.kernels.flops import trsm_flops_sparse
+
+
+def _unpack(lu: np.ndarray):
+    return np.tril(lu, -1) + np.eye(lu.shape[0]), np.triu(lu)
+
+
+class TestDenseGETRF:
+    def test_reconstruction(self, rng):
+        a = rng.standard_normal((15, 15)) + 15 * np.eye(15)
+        a0 = a.copy()
+        dense_getrf(a)
+        l, u = _unpack(a)
+        assert np.allclose(l @ u, a0)
+
+    def test_zero_pivot_raises(self):
+        a = np.array([[0.0, 1.0], [1.0, 0.0]])
+        with pytest.raises(ZeroDivisionError):
+            dense_getrf(a)
+
+    def test_trailing_zero_pivot_raises(self):
+        a = np.array([[1.0, 1.0], [1.0, 1.0]])  # second pivot cancels
+        with pytest.raises(ZeroDivisionError):
+            dense_getrf(a)
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(ValueError):
+            dense_getrf(np.ones((3, 4)))
+
+    def test_one_by_one(self):
+        a = np.array([[3.0]])
+        dense_getrf(a)
+        assert a[0, 0] == 3.0
+
+
+class TestPivotedGETRF:
+    def test_reconstruction_with_pivots(self, rng):
+        a = rng.standard_normal((12, 12))
+        a0 = a.copy()
+        _, piv = dense_getrf_pivoted(a)
+        l, u = _unpack(a)
+        p = np.eye(12)
+        for k, pk in enumerate(piv):
+            if pk != k:
+                p[[k, pk]] = p[[pk, k]]
+        assert np.allclose(l @ u, p @ a0)
+
+    def test_handles_zero_leading_pivot(self):
+        a = np.array([[0.0, 1.0], [2.0, 3.0]])
+        dense_getrf_pivoted(a)  # must not raise
+
+    def test_singular_raises(self):
+        a = np.zeros((3, 3))
+        with pytest.raises(ZeroDivisionError):
+            dense_getrf_pivoted(a)
+
+    def test_growth_bounded_on_dominant(self, rng):
+        # pivoting should be a no-op on strictly dominant matrices
+        a = rng.standard_normal((10, 10))
+        a += np.diag(np.abs(a).sum(axis=1) + 1)
+        a0 = a.copy()
+        _, piv = dense_getrf_pivoted(a.copy())
+        assert np.array_equal(piv, np.arange(10))
+        b = a0.copy()
+        dense_getrf(b)  # pivot-free agrees
+        c = a0.copy()
+        dense_getrf_pivoted(c)
+        assert np.allclose(b, c)
+
+
+class TestTRSM:
+    def test_lower_unit(self, rng):
+        lu = rng.standard_normal((9, 9))
+        b = rng.standard_normal((9, 5))
+        x = b.copy()
+        trsm_lower_unit(lu, x)
+        l = np.tril(lu, -1) + np.eye(9)
+        assert np.allclose(l @ x, b)
+
+    def test_upper(self, rng):
+        lu = rng.standard_normal((9, 9)) + 9 * np.eye(9)
+        b = rng.standard_normal((6, 9))
+        x = b.copy()
+        trsm_upper(lu, x)
+        assert np.allclose(x @ np.triu(lu), b)
+
+    def test_upper_zero_diag_raises(self):
+        u = np.zeros((3, 3))
+        with pytest.raises(ZeroDivisionError):
+            trsm_upper(u, np.ones((2, 3)))
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            trsm_lower_unit(np.eye(3), np.ones((4, 2)))
+        with pytest.raises(ValueError):
+            trsm_upper(np.eye(3), np.ones((2, 4)))
+
+    def test_gemm_update(self, rng):
+        c = rng.standard_normal((4, 6))
+        a = rng.standard_normal((4, 5))
+        b = rng.standard_normal((5, 6))
+        c0 = c.copy()
+        gemm_update(c, a, b)
+        assert np.allclose(c, c0 - a @ b)
+
+
+class TestFlopCounts:
+    def test_getrf_dense_cubic(self):
+        # exact: sum_{r=1}^{m-1} (r + 2 r^2)
+        assert getrf_flops_dense(2) == 3
+        assert getrf_flops_dense(3) == 3 + 2 * 9 // 2 + 1  # 1+2 + 2+8 = 13
+        m = 30
+        assert abs(getrf_flops_dense(m) - 2 * m ** 3 / 3) / (2 * m ** 3 / 3) < 0.15
+
+    def test_getrf_sparse_equals_dense_when_full(self):
+        pat = np.ones((8, 8), dtype=bool)
+        assert getrf_flops_sparse(pat) == getrf_flops_dense(8)
+
+    def test_getrf_sparse_diagonal_is_zero(self):
+        assert getrf_flops_sparse(np.eye(6, dtype=bool)) == 0
+
+    def test_trsm_dense(self):
+        assert trsm_flops_dense(8, 5) == 320
+
+    def test_gemm_dense(self):
+        assert gemm_flops_dense(3, 4, 5) == 120
+
+    def test_ssssm_sparse_exact_formula(self):
+        l = np.zeros((4, 3), dtype=bool)
+        u = np.zeros((3, 5), dtype=bool)
+        l[:, 0] = True        # col 0 of L: 4 nonzeros
+        u[0, :2] = True       # row 0 of U: 2 nonzeros
+        assert ssssm_flops_sparse(l, u) == 2 * 4 * 2
+
+    def test_ssssm_sparse_matches_dense_when_full(self):
+        l = np.ones((4, 3), dtype=bool)
+        u = np.ones((3, 5), dtype=bool)
+        assert ssssm_flops_sparse(l, u) == gemm_flops_dense(4, 3, 5)
+
+    def test_trsm_sparse_scales_with_nnz(self):
+        pat = np.triu(np.ones((6, 6), dtype=bool))
+        assert trsm_flops_sparse(10, pat) < trsm_flops_sparse(100, pat)
+
+
+class TestTileKernels:
+    def test_two_by_two_block_lu(self, rng):
+        n, bs = 20, 10
+        m = rng.standard_normal((n, n))
+        m += np.diag(np.abs(m).sum(axis=1) + 1)
+        m0 = m.copy()
+        a11 = m[:bs, :bs].copy(); a12 = m[:bs, bs:].copy()
+        a21 = m[bs:, :bs].copy(); a22 = m[bs:, bs:].copy()
+        getrf_kernel(a11)
+        tstrf_kernel(a21, a11)
+        geesm_kernel(a12, a11)
+        ssssm_kernel(a22, a21, a12)
+        getrf_kernel(a22)
+        l11, u11 = _unpack(a11)
+        l22, u22 = _unpack(a22)
+        lg = np.zeros((n, n)); ug = np.zeros((n, n))
+        lg[:bs, :bs] = l11; lg[bs:, :bs] = a21; lg[bs:, bs:] = l22
+        ug[:bs, :bs] = u11; ug[:bs, bs:] = a12; ug[bs:, bs:] = u22
+        assert np.allclose(lg @ ug, m0)
+
+    def test_dense_stats(self, rng):
+        t = rng.standard_normal((8, 8)) + 8 * np.eye(8)
+        s = getrf_kernel(t, sparse=False)
+        assert s.flops == getrf_flops_dense(8)
+        assert s.bytes > 0
+
+    def test_sparse_stats_smaller_on_sparse_tile(self, rng):
+        t = np.diag(rng.random(8) + 1)
+        t[7, 0] = 0.5
+        s_sparse = getrf_kernel(t.copy(), sparse=True)
+        s_dense = getrf_kernel(t.copy(), sparse=False)
+        assert s_sparse.flops < s_dense.flops
+
+    def test_ssssm_atomic_counts_extra_bytes(self, rng):
+        c1 = rng.standard_normal((6, 6))
+        c2 = c1.copy()
+        a = rng.standard_normal((6, 4))
+        b = rng.standard_normal((4, 6))
+        s_plain = ssssm_kernel(c1, a, b, atomic=False)
+        s_atomic = ssssm_kernel(c2, a, b, atomic=True)
+        assert s_atomic.bytes > s_plain.bytes
+        assert s_atomic.flops == s_plain.flops
+        assert np.allclose(c1, c2)  # arithmetic identical
+
+    def test_sparse_and_dense_same_arithmetic(self, rng):
+        t1 = rng.standard_normal((8, 8)) + 10 * np.eye(8)
+        t2 = t1.copy()
+        getrf_kernel(t1, sparse=False)
+        getrf_kernel(t2, sparse=True)
+        assert np.allclose(t1, t2)

@@ -1,0 +1,143 @@
+"""Unit tests for the synthetic matrix generators."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import (
+    anisotropic2d,
+    arrow_matrix,
+    banded_random,
+    cage_like,
+    chemistry_like,
+    circuit_like,
+    elasticity3d_like,
+    kkt_like,
+    make_diagonally_dominant,
+    poisson2d,
+    poisson3d,
+    power_law_graph,
+    random_unsymmetric,
+    tridiagonal,
+)
+from repro.sparse import CSRMatrix
+
+
+def _is_strictly_dominant(a: CSRMatrix) -> bool:
+    d = a.to_dense()
+    off = np.abs(d).sum(axis=1) - np.abs(np.diag(d))
+    return bool(np.all(np.abs(np.diag(d)) > off))
+
+
+ALL_GENERATORS = [
+    ("poisson2d", lambda: poisson2d(7)),
+    ("poisson3d", lambda: poisson3d(4)),
+    ("anisotropic2d", lambda: anisotropic2d(7, eps=0.05)),
+    ("elasticity3d", lambda: elasticity3d_like(3, 3, 3, dofs=3, seed=1)),
+    ("circuit", lambda: circuit_like(80, seed=2)),
+    ("cage", lambda: cage_like(90, seed=3)),
+    ("kkt", lambda: kkt_like(60, seed=4)),
+    ("banded", lambda: banded_random(70, bandwidth=5, seed=5)),
+    ("random", lambda: random_unsymmetric(60, density=0.05, seed=6)),
+    ("chemistry", lambda: chemistry_like(72, cluster=12, seed=7)),
+    ("powerlaw", lambda: power_law_graph(60, seed=8)),
+    ("tridiagonal", lambda: tridiagonal(50)),
+    ("arrow", lambda: arrow_matrix(50, arms=2, seed=9)),
+]
+
+
+@pytest.mark.parametrize("name,builder", ALL_GENERATORS)
+class TestAllGenerators:
+    def test_square_and_canonical(self, name, builder):
+        a = builder()
+        assert a.nrows == a.ncols
+        a.check()
+
+    def test_strict_diagonal_dominance(self, name, builder):
+        # the pivot-free numeric path relies on this invariant
+        assert _is_strictly_dominant(builder())
+
+    def test_deterministic(self, name, builder):
+        a, b = builder(), builder()
+        assert a.nnz == b.nnz
+        assert np.allclose(a.to_dense(), b.to_dense())
+
+    def test_full_diagonal_stored(self, name, builder):
+        a = builder()
+        d = a.diagonal()
+        assert np.all(d != 0)
+
+
+class TestStructures:
+    def test_poisson2d_five_point(self):
+        a = poisson2d(5)
+        interior_row = 2 * 5 + 2  # interior node has 4 neighbours + diag
+        cols, _ = a.row_slice(interior_row)
+        assert cols.size == 5
+
+    def test_poisson3d_seven_point(self):
+        a = poisson3d(3)
+        center = 13  # (1,1,1) in a 3x3x3 grid
+        cols, _ = a.row_slice(center)
+        assert cols.size == 7
+
+    def test_anisotropy_weakens_one_axis(self):
+        a = anisotropic2d(6, eps=0.01).to_dense()
+        # x-neighbours (offset 1) strong, y-neighbours (offset 6) weak
+        assert abs(a[7, 8]) > abs(a[7, 13])
+
+    def test_elasticity_dof_blocks(self):
+        a = elasticity3d_like(2, 2, 2, dofs=3, seed=0)
+        assert a.nrows == 24
+        # dofs of one node couple densely
+        assert np.all(a.to_dense()[:3, :3] != 0)
+
+    def test_circuit_has_hub_rows(self):
+        a = circuit_like(200, n_hubs=2, seed=11)
+        lens = a.row_lengths()
+        assert lens.max() > 2.5 * np.median(lens)
+
+    def test_kkt_saddle_block_shape(self):
+        a = kkt_like(40, n_dual=20, seed=0)
+        assert a.nrows == 60
+
+    def test_arrow_dense_tip(self):
+        a = arrow_matrix(30, arms=1, seed=0)
+        cols, _ = a.row_slice(29)
+        assert cols.size == 30  # full last row
+
+    def test_tridiagonal_bandwidth(self):
+        a = tridiagonal(20)
+        rows = np.repeat(np.arange(20), a.row_lengths())
+        assert np.abs(rows - a.indices).max() == 1
+
+    def test_cage_has_offband_entries(self):
+        a = cage_like(120, bandwidth=6, seed=1)
+        rows = np.repeat(np.arange(120), a.row_lengths())
+        assert np.abs(rows - a.indices).max() > 6
+
+
+class TestDominanceHelper:
+    def test_makes_dominant(self, rng):
+        d = (rng.random((20, 20)) < 0.4) * rng.standard_normal((20, 20))
+        np.fill_diagonal(d, 0.0)
+        a = make_diagonally_dominant(CSRMatrix.from_dense(d), factor=2.0)
+        assert _is_strictly_dominant(a)
+
+    def test_preserves_offdiagonal_values(self, rng):
+        d = (rng.random((15, 15)) < 0.4) * rng.standard_normal((15, 15))
+        np.fill_diagonal(d, 5.0)
+        a = make_diagonally_dominant(CSRMatrix.from_dense(d))
+        out = a.to_dense()
+        mask = ~np.eye(15, dtype=bool)
+        assert np.allclose(out[mask], d[mask])
+
+    def test_requires_square(self):
+        with pytest.raises(ValueError):
+            make_diagonally_dominant(CSRMatrix.empty((3, 4)))
+
+    def test_factor_scales_diagonal(self, rng):
+        d = (rng.random((10, 10)) < 0.5) * rng.standard_normal((10, 10))
+        a2 = make_diagonally_dominant(CSRMatrix.from_dense(d), factor=2.0)
+        a4 = make_diagonally_dominant(CSRMatrix.from_dense(d), factor=4.0)
+        d2, d4 = np.diag(a2.to_dense()), np.diag(a4.to_dense())
+        assert np.all(d4 >= d2)

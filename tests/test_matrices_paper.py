@@ -1,0 +1,76 @@
+"""Unit tests for the paper-matrix analogues (Tables 2 and 4)."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import (
+    PAPER_MATRICES,
+    SCALE_OUT_NAMES,
+    SCALE_UP_NAMES,
+    paper_matrix,
+    paper_matrix_info,
+)
+
+
+class TestInventory:
+    def test_all_ten_matrices_present(self):
+        assert set(SCALE_UP_NAMES + SCALE_OUT_NAMES) == set(PAPER_MATRICES)
+        assert len(PAPER_MATRICES) == 10
+
+    def test_scale_up_group_membership(self):
+        for name in SCALE_UP_NAMES:
+            assert paper_matrix_info(name).group == "scale-up"
+
+    def test_scale_out_group_membership(self):
+        for name in SCALE_OUT_NAMES:
+            assert paper_matrix_info(name).group == "scale-out"
+
+    def test_paper_metadata_matches_table2(self):
+        info = paper_matrix_info("cage12")
+        assert info.paper_n == 130e3
+        assert info.paper_nnz == 2.03e6
+        assert info.paper_lu_superlu == 550e6
+
+    def test_paper_metadata_matches_table4(self):
+        info = paper_matrix_info("Serena")
+        assert info.paper_n == 1.39e6
+        assert info.paper_lu_pangulu == 5.38e9
+
+
+@pytest.mark.parametrize("name", sorted(PAPER_MATRICES))
+class TestAnalogues:
+    def test_builds_square_canonical(self, name):
+        a = paper_matrix(name)
+        assert a.nrows == a.ncols
+        a.check()
+
+    def test_deterministic(self, name):
+        a, b = paper_matrix(name), paper_matrix(name)
+        assert a.nnz == b.nnz
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_reasonable_analogue_size(self, name):
+        a = paper_matrix(name)
+        assert 400 <= a.nrows <= 2000
+
+    def test_diagonally_dominant(self, name):
+        a = paper_matrix(name)
+        d = a.to_dense()
+        off = np.abs(d).sum(axis=1) - np.abs(np.diag(d))
+        assert np.all(np.abs(np.diag(d)) > off)
+
+
+class TestScaling:
+    def test_scale_grows_matrix(self):
+        small = paper_matrix("c-71", scale=0.5)
+        big = paper_matrix("c-71", scale=1.5)
+        assert small.nrows < big.nrows
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            paper_matrix("not-a-matrix")
+
+    def test_scale_out_larger_than_scale_up_on_average(self):
+        up = np.mean([paper_matrix(n).nrows for n in SCALE_UP_NAMES])
+        out = np.mean([paper_matrix(n).nrows for n in SCALE_OUT_NAMES])
+        assert out > up

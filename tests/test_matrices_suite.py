@@ -1,0 +1,54 @@
+"""Unit tests for the 200-matrix / 31-kind collection generator."""
+
+import numpy as np
+
+from repro.matrices import suite_collection, suite_kinds
+
+
+class TestKinds:
+    def test_thirty_one_kinds(self):
+        # the paper draws its 200 matrices from 31 SuiteSparse kinds
+        assert len(suite_kinds()) == 31
+
+    def test_kind_labels_unique(self):
+        kinds = suite_kinds()
+        assert len(set(kinds)) == len(kinds)
+
+
+class TestCollection:
+    def test_requested_count(self):
+        col = suite_collection(count=40, base_size=120)
+        assert len(col) == 40
+
+    def test_entries_are_square_canonical(self):
+        for e in suite_collection(count=35, base_size=120):
+            assert e.matrix.nrows == e.matrix.ncols
+            e.matrix.check()
+
+    def test_names_unique(self):
+        col = suite_collection(count=70, base_size=120)
+        names = [e.name for e in col]
+        assert len(set(names)) == len(names)
+
+    def test_round_robin_covers_all_kinds(self):
+        col = suite_collection(count=62, base_size=120)
+        assert set(e.kind for e in col) == set(suite_kinds())
+
+    def test_deterministic(self):
+        a = suite_collection(count=10, base_size=100)
+        b = suite_collection(count=10, base_size=100)
+        for ea, eb in zip(a, b):
+            assert ea.name == eb.name
+            assert ea.matrix.nnz == eb.matrix.nnz
+
+    def test_sizes_vary_across_rounds(self):
+        col = suite_collection(count=62, base_size=200)
+        first_round = col[0].matrix.nrows
+        second_round = col[31].matrix.nrows
+        assert second_round != first_round
+
+    def test_all_diagonally_dominant(self):
+        for e in suite_collection(count=31, base_size=100):
+            d = e.matrix.to_dense()
+            off = np.abs(d).sum(axis=1) - np.abs(np.diag(d))
+            assert np.all(np.abs(np.diag(d)) > off), e.name

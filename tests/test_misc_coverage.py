@@ -1,0 +1,95 @@
+"""Coverage for smaller paths: CSC, estimate backend, partitions, fusion
+edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.core import Task, TaskType, build_block_dag, merge_schur_tasks
+from repro.core.executor import EstimateBackend
+from repro.matrices import poisson2d
+from repro.sparse import CSCMatrix, CSRMatrix, uniform_partition
+from repro.sparse.blocking import Partition
+from repro.symbolic import block_fill
+
+
+class TestCSC:
+    def test_roundtrip_csr(self, random_sparse):
+        a, dense = random_sparse
+        csc = a.to_csc()
+        assert np.allclose(csc.to_dense(), dense)
+        assert np.allclose(csc.to_csr().to_dense(), dense)
+
+    def test_col_slice(self, random_sparse):
+        a, dense = random_sparse
+        csc = a.to_csc()
+        rows, vals = csc.col_slice(5)
+        expect = np.flatnonzero(dense[:, 5])
+        assert np.array_equal(rows, expect)
+        assert np.allclose(vals, dense[expect, 5])
+
+    def test_col_lengths(self, random_sparse):
+        a, dense = random_sparse
+        csc = a.to_csc()
+        assert np.array_equal(csc.col_lengths(), (dense != 0).sum(axis=0))
+
+    def test_from_csr_classmethod(self, random_sparse):
+        a, dense = random_sparse
+        assert np.allclose(CSCMatrix.from_csr(a).to_dense(), dense)
+
+    def test_nnz(self, random_sparse):
+        a, _ = random_sparse
+        assert a.to_csc().nnz == a.nnz
+
+
+class TestPartitionScalars:
+    def test_block_of_scalar(self):
+        p = uniform_partition(10, 3)
+        assert p.block_of(0) == 0
+        assert p.block_of(9) == 3
+
+    def test_n_property(self):
+        p = Partition(np.array([0, 4, 10]))
+        assert p.n == 10
+        assert p.nblocks == 2
+
+
+class TestEstimateBackend:
+    def test_atomic_adds_bytes(self):
+        t = Task(tid=0, type=TaskType.SSSSM, k=0, i=1, j=1, rows=4, cols=4,
+                 nnz=16, flops_est=100, bytes_est=800)
+        b = EstimateBackend()
+        plain = b.run_task(t, False)
+        atomic = b.run_task(t, True)
+        assert atomic.bytes > plain.bytes
+        assert atomic.flops == plain.flops
+
+
+class TestFusionEdges:
+    def test_dag_without_schur_is_unchanged(self):
+        # a block-diagonal pattern has no SSSSM tasks at all
+        part = uniform_partition(8, 2)
+        fill = np.eye(4, dtype=bool)
+        dag = build_block_dag(fill, part)
+        fusion = merge_schur_tasks(dag)
+        assert fusion.dag.n_tasks == dag.n_tasks
+        assert all(len(g) == 1 for g in fusion.members)
+
+    def test_single_group_fusion(self):
+        a = poisson2d(4)  # tiny: one diag block chain
+        part = uniform_partition(16, 8)
+        dag = build_block_dag(block_fill(a, part), part)
+        fusion = merge_schur_tasks(dag)
+        fusion.dag.validate()
+        assert fusion.dag.n_tasks <= dag.n_tasks
+
+
+class TestScheduleResultGuards:
+    def test_zero_batches_gflops(self):
+        from repro.core.scheduler import ScheduleResult
+
+        r = ScheduleResult(scheduler="x", device="y", batches=[],
+                           kernel_count=0, task_count=0, kernel_time=0.0,
+                           sched_overhead=0.0, total_flops=0,
+                           counts_by_type={})
+        assert r.gflops == 0.0
+        assert r.mean_batch_size == 0.0

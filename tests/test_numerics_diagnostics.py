@@ -1,0 +1,94 @@
+"""Tests for the numerical-quality diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    backward_error,
+    condition_estimate,
+    dominance_margin,
+    pivot_growth,
+)
+from repro.kernels.reference_lu import reference_lu
+from repro.matrices import circuit_like, poisson2d
+from repro.sparse import CSRMatrix, matvec
+
+
+class TestPivotGrowth:
+    def test_near_one_on_dominant(self):
+        a = circuit_like(60, seed=2)
+        res = reference_lu(a)
+        g = pivot_growth(a, res.U)
+        assert 0.5 <= g <= 2.0  # SDD matrices have growth ≤ 2
+
+    def test_large_growth_detected(self):
+        # the classic growth matrix: lower 1s with last column of 1s
+        n = 12
+        dense = np.eye(n)
+        dense[:, -1] = 1.0
+        dense -= np.tril(np.ones((n, n)), -1)
+        a = CSRMatrix.from_dense(dense)
+        res = reference_lu(a)
+        assert pivot_growth(a, res.U) > 100  # 2^(n-1)-ish
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            pivot_growth(CSRMatrix.empty((3, 3)), CSRMatrix.empty((3, 3)))
+
+
+class TestDominanceMargin:
+    def test_positive_on_generators(self):
+        assert dominance_margin(circuit_like(50, seed=1)) > 0
+        assert dominance_margin(poisson2d(6)) > 0
+
+    def test_negative_on_weak_diagonal(self, rng):
+        dense = rng.standard_normal((8, 8))
+        np.fill_diagonal(dense, 0.01)
+        assert dominance_margin(CSRMatrix.from_dense(dense)) < 0
+
+    def test_minus_inf_on_zero_diagonal(self):
+        dense = np.array([[0.0, 1.0], [1.0, 1.0]])
+        assert dominance_margin(CSRMatrix.from_dense(dense)) == -np.inf
+
+    def test_requires_square(self):
+        with pytest.raises(ValueError):
+            dominance_margin(CSRMatrix.empty((2, 3)))
+
+
+class TestConditionEstimate:
+    def test_close_to_true_cond1_small_dense(self, rng):
+        dense = rng.standard_normal((15, 15)) + 15 * np.eye(15)
+        a = CSRMatrix.from_dense(dense)
+        res = reference_lu(a)
+        est = condition_estimate(a, res.L, res.U)
+        true = np.linalg.cond(dense, 1)
+        assert est <= true * 1.01          # a lower bound
+        assert est >= true / 10            # ... and not a loose one
+
+    def test_identity_is_one(self):
+        a = CSRMatrix.identity(6)
+        res = reference_lu(a)
+        assert condition_estimate(a, res.L, res.U) == pytest.approx(1.0)
+
+    def test_scales_with_ill_conditioning(self):
+        d1 = np.diag(np.ones(6))
+        d2 = np.diag([1.0, 1, 1, 1, 1, 1e-6])
+        for dense, expect_big in ((d1, False), (d2, True)):
+            a = CSRMatrix.from_dense(dense)
+            res = reference_lu(a)
+            est = condition_estimate(a, res.L, res.U)
+            assert (est > 1e5) == expect_big
+
+
+class TestBackwardError:
+    def test_tiny_for_direct_solve(self, rng):
+        a = circuit_like(70, seed=4)
+        x_true = rng.standard_normal(70)
+        b = matvec(a, x_true)
+        x = reference_lu(a).solve(b)
+        assert backward_error(a, x, b) < 1e-14
+
+    def test_large_for_wrong_solution(self, rng):
+        a = poisson2d(6)
+        b = rng.standard_normal(36)
+        assert backward_error(a, np.zeros(36), b) > 1e-3

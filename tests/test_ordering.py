@@ -1,0 +1,142 @@
+"""Unit tests for the reordering phase (RCM, minimum degree, nested
+dissection and the driver)."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import arrow_matrix, circuit_like, poisson2d, tridiagonal
+from repro.ordering import (
+    ORDERING_METHODS,
+    compute_ordering,
+    minimum_degree,
+    nested_dissection,
+    rcm,
+)
+from repro.ordering.graph import (
+    adjacency_from_pattern,
+    bfs_levels,
+    connected_components,
+    pseudo_peripheral_node,
+)
+from repro.sparse import CSRMatrix, permute_symmetric
+from repro.symbolic import symbolic_fill
+
+
+def _bandwidth(a: CSRMatrix) -> int:
+    rows = np.repeat(np.arange(a.nrows), a.row_lengths())
+    return int(np.abs(rows - a.indices).max())
+
+
+class TestGraphUtils:
+    def test_adjacency_symmetric_no_diagonal(self):
+        a = circuit_like(60, seed=0)
+        indptr, indices = adjacency_from_pattern(a)
+        n = a.nrows
+        # no self loops
+        rows = np.repeat(np.arange(n), np.diff(indptr))
+        assert not np.any(rows == indices)
+        # symmetric: every edge appears both ways
+        fwd = set(zip(rows.tolist(), indices.tolist()))
+        assert all((v, u) in fwd for (u, v) in fwd)
+
+    def test_bfs_levels_distances(self):
+        a = tridiagonal(10)
+        indptr, indices = adjacency_from_pattern(a)
+        level, fronts = bfs_levels(indptr, indices, 0)
+        assert np.array_equal(level, np.arange(10))
+        assert len(fronts) == 10
+
+    def test_bfs_respects_mask(self):
+        a = tridiagonal(10)
+        indptr, indices = adjacency_from_pattern(a)
+        mask = np.ones(10, dtype=bool)
+        mask[5] = False
+        level, _ = bfs_levels(indptr, indices, 0, mask)
+        assert np.all(level[6:] == -1)
+
+    def test_bfs_masked_start_rejected(self):
+        a = tridiagonal(6)
+        indptr, indices = adjacency_from_pattern(a)
+        mask = np.zeros(6, dtype=bool)
+        with pytest.raises(ValueError):
+            bfs_levels(indptr, indices, 0, mask)
+
+    def test_pseudo_peripheral_on_chain(self):
+        a = tridiagonal(15)
+        indptr, indices = adjacency_from_pattern(a)
+        node = pseudo_peripheral_node(indptr, indices, start=7)
+        assert node in (0, 14)
+
+    def test_connected_components(self):
+        dense = np.zeros((6, 6))
+        dense[0, 1] = dense[1, 0] = 1.0
+        dense[3, 4] = dense[4, 3] = 1.0
+        np.fill_diagonal(dense, 2.0)
+        a = CSRMatrix.from_dense(dense)
+        indptr, indices = adjacency_from_pattern(a)
+        comps = connected_components(indptr, indices)
+        sizes = sorted(len(c) for c in comps)
+        assert sizes == [1, 1, 2, 2]
+
+
+@pytest.mark.parametrize("method", ORDERING_METHODS)
+class TestAllOrderings:
+    def test_valid_permutation(self, method):
+        a = circuit_like(90, seed=3)
+        p = compute_ordering(a, method)
+        assert np.array_equal(np.sort(p), np.arange(90))
+
+    def test_deterministic(self, method):
+        a = poisson2d(8)
+        assert np.array_equal(compute_ordering(a, method),
+                              compute_ordering(a, method))
+
+    def test_handles_disconnected_graph(self, method):
+        dense = np.kron(np.eye(3), np.array([[4.0, -1], [-1, 4.0]]))
+        a = CSRMatrix.from_dense(dense)
+        p = compute_ordering(a, method)
+        assert np.array_equal(np.sort(p), np.arange(6))
+
+
+class TestOrderingQuality:
+    def test_rcm_reduces_bandwidth_on_shuffled_chain(self, rng):
+        a = tridiagonal(60)
+        shuffle = rng.permutation(60)
+        shuffled = permute_symmetric(a, shuffle)
+        assert _bandwidth(shuffled) > 1
+        improved = permute_symmetric(shuffled, rcm(shuffled))
+        assert _bandwidth(improved) <= 2
+
+    def test_mindeg_beats_natural_on_arrow(self):
+        # arrowhead with the dense row FIRST fills completely under
+        # natural order; minimum degree orders it last.
+        a = arrow_matrix(40, arms=1)
+        rev = permute_symmetric(a, np.arange(40)[::-1])  # tip now first
+        natural_fill = symbolic_fill(rev).nnz_lu
+        p = minimum_degree(rev)
+        md_fill = symbolic_fill(permute_symmetric(rev, p)).nnz_lu
+        assert md_fill < natural_fill
+
+    def test_mindeg_orders_arrow_tip_last(self):
+        a = arrow_matrix(30, arms=1)
+        p = minimum_degree(a)
+        assert p[-1] == 29  # the dense tip eliminates last
+
+    def test_nd_reduces_fill_on_grid(self):
+        a = poisson2d(12)
+        natural = symbolic_fill(a).nnz_lu
+        p = nested_dissection(a, leaf_size=8)
+        nd_fill = symbolic_fill(permute_symmetric(a, p)).nnz_lu
+        assert nd_fill < natural
+
+    def test_mindeg_rejects_unknown_tiebreak(self):
+        with pytest.raises(ValueError):
+            minimum_degree(poisson2d(4), tie_break="random")
+
+    def test_driver_rejects_unknown_method(self):
+        with pytest.raises(ValueError):
+            compute_ordering(poisson2d(4), "metis")
+
+    def test_natural_is_identity(self):
+        a = poisson2d(5)
+        assert np.array_equal(compute_ordering(a, "natural"), np.arange(25))

@@ -1,0 +1,199 @@
+"""Property-based tests (hypothesis) for the core data structures and
+scheduling invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis import HealthCheck
+
+from repro.core import (
+    Collector,
+    Container,
+    Task,
+    TaskType,
+    build_block_dag,
+    make_scheduler,
+)
+from repro.core.executor import BlockTaskMapping, EstimateBackend
+from repro.gpusim import GPUCostModel, GPUSpec, RTX5090
+from repro.sparse import (
+    COOMatrix,
+    CSRMatrix,
+    inverse_permutation,
+    permute_symmetric,
+    spgemm,
+    uniform_partition,
+)
+from repro.symbolic import block_fill, symbolic_fill
+
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+@st.composite
+def coo_matrices(draw, max_n=12):
+    n = draw(st.integers(2, max_n))
+    m = draw(st.integers(2, max_n))
+    nnz = draw(st.integers(0, n * m))
+    rows = draw(st.lists(st.integers(0, n - 1), min_size=nnz, max_size=nnz))
+    cols = draw(st.lists(st.integers(0, m - 1), min_size=nnz, max_size=nnz))
+    vals = draw(st.lists(
+        st.floats(-10, 10, allow_nan=False, allow_infinity=False),
+        min_size=nnz, max_size=nnz))
+    return COOMatrix((n, m), np.asarray(rows, dtype=np.int64),
+                     np.asarray(cols, dtype=np.int64),
+                     np.asarray(vals, dtype=np.float64))
+
+
+@st.composite
+def square_patterns(draw, max_n=10):
+    n = draw(st.integers(2, max_n))
+    density = draw(st.floats(0.1, 0.7))
+    seed = draw(st.integers(0, 2 ** 16))
+    rng = np.random.default_rng(seed)
+    dense = (rng.random((n, n)) < density) * rng.standard_normal((n, n))
+    dense += np.diag(np.abs(dense).sum(axis=1) + 1.0)
+    return CSRMatrix.from_dense(dense)
+
+
+@st.composite
+def task_lists(draw):
+    k = draw(st.integers(1, 12))
+    tasks = []
+    for tid in range(k):
+        ttype = draw(st.sampled_from(list(TaskType)))
+        rows = draw(st.integers(1, 30))
+        cols = draw(st.integers(1, 30))
+        tasks.append(Task(tid=tid, type=ttype, k=0, i=tid, j=tid,
+                          rows=rows, cols=cols, nnz=rows * cols,
+                          flops_est=rows * cols, bytes_est=8 * rows * cols))
+    return tasks
+
+
+# ----------------------------------------------------------------------
+# sparse format properties
+# ----------------------------------------------------------------------
+class TestSparseProperties:
+    @given(coo_matrices())
+    def test_coo_csr_roundtrip_preserves_dense(self, coo):
+        csr = coo.to_csr()
+        csr.check()
+        assert np.allclose(csr.to_dense(), coo.to_dense())
+
+    @given(coo_matrices())
+    def test_transpose_involution(self, coo):
+        csr = coo.to_csr()
+        tt = csr.transpose().transpose()
+        assert np.allclose(tt.to_dense(), csr.to_dense())
+
+    @given(coo_matrices(), coo_matrices())
+    def test_spgemm_matches_dense(self, ca, cb):
+        a, b = ca.to_csr(), cb.to_csr()
+        if a.ncols != b.nrows:
+            return
+        c = spgemm(a, b)
+        c.check()
+        assert np.allclose(c.to_dense(), a.to_dense() @ b.to_dense(),
+                           atol=1e-9)
+
+    @given(square_patterns(), st.integers(0, 2 ** 16))
+    def test_symmetric_permutation_conjugation(self, a, seed):
+        rng = np.random.default_rng(seed)
+        p = rng.permutation(a.nrows)
+        b = permute_symmetric(a, p)
+        back = permute_symmetric(b, inverse_permutation(p))
+        assert np.allclose(back.to_dense(), a.to_dense())
+
+    @given(square_patterns())
+    def test_fill_is_superset_of_input_pattern(self, a):
+        fill = symbolic_fill(a)
+        sym = a.pattern_symmetrized().to_dense() > 0
+        pred = fill.filled.to_dense() > 0
+        assert np.all(pred | ~sym)
+
+    @given(square_patterns(), st.integers(1, 5))
+    def test_block_fill_covers_element_fill(self, a, bs):
+        # symbolic_fill symmetrises (static-pivoting upper bound), so the
+        # coverage comparison must run block_fill on the same pattern
+        sym = a.pattern_symmetrized()
+        part = uniform_partition(a.nrows, bs)
+        bf = block_fill(sym, part)
+        pred = symbolic_fill(a).filled.to_dense() > 0
+        for bi in range(part.nblocks):
+            for bj in range(part.nblocks):
+                r0, r1 = part.block_range(bi)
+                c0, c1 = part.block_range(bj)
+                if pred[r0:r1, c0:c1].any():
+                    assert bf[bi, bj]
+
+
+# ----------------------------------------------------------------------
+# Trojan Horse module properties
+# ----------------------------------------------------------------------
+class TestModuleProperties:
+    @given(task_lists())
+    def test_mapping_total_blocks(self, tasks):
+        m = BlockTaskMapping.build(tasks)
+        assert m.total_blocks == sum(t.cuda_blocks for t in tasks)
+        for b in range(m.total_blocks):
+            ti = m.task_of_block(b)
+            assert m.starts[ti] <= b < m.starts[ti] + tasks[ti].cuda_blocks
+
+    @given(task_lists())
+    def test_container_pops_in_priority_order(self, tasks):
+        c = Container()
+        for t in tasks:
+            c.push(t)
+        by_id = {t.tid: t for t in tasks}
+        popped = [by_id[c.pop()] for _ in range(len(tasks))]
+        keys = [(t.distance, t.k) for t in popped]
+        assert keys == sorted(keys)
+
+    @given(task_lists(), st.integers(1, 8), st.integers(1, 8))
+    def test_collector_never_overflows_multi_task_batches(self, tasks, sms,
+                                                          bpm):
+        gpu = GPUSpec("toy", sm_count=sms, fp64_gflops=1, mem_bw_gbs=1,
+                      memory_gb=1, max_blocks_per_sm=bpm)
+        coll = Collector(gpu)
+        admitted = [t for t in tasks if coll.try_push(t)]
+        if len(admitted) > 1:
+            assert (sum(t.cuda_blocks for t in admitted)
+                    <= gpu.max_resident_blocks)
+
+
+# ----------------------------------------------------------------------
+# scheduler properties
+# ----------------------------------------------------------------------
+class TestSchedulerProperties:
+    @settings(deadline=None, max_examples=25,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(square_patterns(max_n=24), st.integers(2, 6),
+           st.sampled_from(["serial", "levelbatch", "streams", "trojan"]))
+    def test_any_matrix_any_scheduler_completes(self, a, bs, name):
+        part = uniform_partition(a.nrows, bs)
+        dag = build_block_dag(block_fill(a, part), part, sparse_tiles=True)
+        r = make_scheduler(name, dag, EstimateBackend(),
+                           GPUCostModel(RTX5090)).run()
+        executed = sorted(t for b in r.batches for t in b.task_ids)
+        assert executed == list(range(dag.n_tasks))
+        # dependency order respected
+        end = {}
+        start = {}
+        for b in r.batches:
+            for tid in b.task_ids:
+                end[tid] = b.t_end
+                start[tid] = b.t_start
+        for t in range(dag.n_tasks):
+            for s in dag.successors[t]:
+                assert start[s] >= end[t] - 1e-12
+
+    @settings(deadline=None, max_examples=15,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(square_patterns(max_n=24), st.integers(2, 6))
+    def test_trojan_never_more_kernels_than_serial(self, a, bs):
+        part = uniform_partition(a.nrows, bs)
+        dag = build_block_dag(block_fill(a, part), part, sparse_tiles=True)
+        model = GPUCostModel(RTX5090)
+        serial = make_scheduler("serial", dag, EstimateBackend(), model).run()
+        trojan = make_scheduler("trojan", dag, EstimateBackend(), model).run()
+        assert trojan.kernel_count <= serial.kernel_count
+        assert trojan.total_flops == serial.total_flops

@@ -1,0 +1,120 @@
+"""Property-based tests for the numeric oracles and newer components."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analysis import backward_error, dominance_margin, pivot_growth
+from repro.kernels.reference_lu import reference_lu
+from repro.matrices import make_diagonally_dominant, spd_random
+from repro.ordering import static_pivot_permutation
+from repro.solvers import CholeskySolver, PanguLUSolver
+from repro.sparse import (
+    CSRMatrix,
+    matvec,
+    permute_rows,
+    permute_symmetric,
+    spgemm,
+)
+
+
+@st.composite
+def dominant_matrices(draw, max_n=16):
+    n = draw(st.integers(3, max_n))
+    density = draw(st.floats(0.1, 0.6))
+    seed = draw(st.integers(0, 2 ** 16))
+    rng = np.random.default_rng(seed)
+    dense = (rng.random((n, n)) < density) * rng.standard_normal((n, n))
+    a = CSRMatrix.from_dense(dense + np.eye(n))
+    factor = draw(st.floats(1.1, 4.0))
+    return make_diagonally_dominant(a, factor)
+
+
+@st.composite
+def nonsingular_matrices(draw, max_n=12):
+    """Matrices with nonzero diagonal but no dominance guarantee."""
+    n = draw(st.integers(3, max_n))
+    seed = draw(st.integers(0, 2 ** 16))
+    rng = np.random.default_rng(seed)
+    dense = (rng.random((n, n)) < 0.4) * rng.standard_normal((n, n))
+    dense += np.diag(rng.random(n) + 0.5)
+    return CSRMatrix.from_dense(dense)
+
+
+class TestReferenceLUProperties:
+    @settings(deadline=None, max_examples=40)
+    @given(dominant_matrices())
+    def test_reconstruction(self, a):
+        res = reference_lu(a)
+        lu = spgemm(res.L, res.U).to_dense()
+        scale = max(1.0, np.abs(a.to_dense()).max())
+        assert np.abs(lu - a.to_dense()).max() < 1e-9 * scale
+
+    @settings(deadline=None, max_examples=40)
+    @given(dominant_matrices(), st.integers(0, 2 ** 16))
+    def test_solve_inverts_matvec(self, a, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(a.nrows)
+        b = matvec(a, x)
+        x2 = reference_lu(a).solve(b)
+        assert np.allclose(x, x2, atol=1e-7)
+
+    @settings(deadline=None, max_examples=30)
+    @given(dominant_matrices())
+    def test_growth_bounded_for_sdd(self, a):
+        # strictly diagonally dominant ⇒ pivot-free growth factor ≤ 2
+        res = reference_lu(a)
+        assert pivot_growth(a, res.U) <= 2.0 + 1e-9
+        assert dominance_margin(a) > 0
+
+    @settings(deadline=None, max_examples=25,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(dominant_matrices(max_n=14), st.integers(2, 5))
+    def test_oracle_matches_block_solver(self, a, bs):
+        run = PanguLUSolver(a, block_size=bs, ordering="natural").factorize()
+        oracle = reference_lu(a)
+        assert np.allclose(run.L.to_dense(), oracle.L.to_dense(),
+                           atol=1e-8)
+        assert np.allclose(run.U.to_dense(), oracle.U.to_dense(),
+                           atol=1e-8)
+
+
+class TestStaticPivotProperties:
+    @settings(deadline=None, max_examples=40)
+    @given(nonsingular_matrices())
+    def test_matching_is_permutation_with_full_diagonal(self, a):
+        perm = static_pivot_permutation(a)
+        assert np.array_equal(np.sort(perm), np.arange(a.nrows))
+        assert np.all(permute_rows(a, perm).diagonal() != 0)
+
+    @settings(deadline=None, max_examples=40)
+    @given(nonsingular_matrices())
+    def test_never_worse_than_original_diagonal(self, a):
+        perm = static_pivot_permutation(a)
+        before = np.sum(np.log(np.abs(a.diagonal()) + 1e-300))
+        after = np.sum(np.log(
+            np.abs(permute_rows(a, perm).diagonal()) + 1e-300))
+        assert after >= before - 1e-6
+
+
+class TestCholeskyProperties:
+    @settings(deadline=None, max_examples=15,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.integers(20, 60), st.integers(0, 2 ** 10), st.integers(4, 16))
+    def test_llt_reconstruction(self, n, seed, bs):
+        a = spd_random(n, density=0.1, seed=seed)
+        r = CholeskySolver(a, block_size=bs, scheduler="trojan").factorize()
+        llt = spgemm(r.L, r.L.transpose()).to_dense()
+        ref = permute_symmetric(a, r.perm).to_dense()
+        assert np.abs(llt - ref).max() < 1e-8 * max(1.0, np.abs(ref).max())
+
+
+class TestSolverBackwardError:
+    @settings(deadline=None, max_examples=20,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(dominant_matrices(max_n=14), st.integers(0, 2 ** 10))
+    def test_backward_stable_solve(self, a, seed):
+        rng = np.random.default_rng(seed)
+        b = rng.standard_normal(a.nrows)
+        run = PanguLUSolver(a, block_size=4).factorize()
+        x = run.solve(b)
+        assert backward_error(a, x, b) < 1e-12

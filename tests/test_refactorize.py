@@ -1,0 +1,88 @@
+"""Tests for value-only refactorisation (the circuit fast path)."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import circuit_like, poisson2d
+from repro.solvers import PanguLUSolver, SuperLUSolver
+from repro.sparse import CSRMatrix, matvec
+
+
+def _same_pattern_new_values(a: CSRMatrix, rng) -> CSRMatrix:
+    out = a.copy()
+    rows = np.repeat(np.arange(a.nrows), a.row_lengths())
+    off = rows != a.indices
+    out.data[off] = rng.standard_normal(int(off.sum())) * 0.5
+    # keep the diagonal dominant so the pivot-free path stays valid
+    offsum = np.bincount(rows[off], weights=np.abs(out.data[off]),
+                         minlength=a.nrows)
+    out.data[~off] = 2.0 * offsum[rows[~off]] + 1.0
+    return out
+
+
+class TestRefactorize:
+    def test_correct_factors_and_solve(self, rng):
+        a = circuit_like(120, seed=3)
+        solver = PanguLUSolver(a, block_size=16, scheduler="trojan")
+        solver.factorize()
+        a2 = _same_pattern_new_values(a, rng)
+        result = solver.refactorize(a2)
+        x_true = rng.standard_normal(a2.nrows)
+        b = matvec(a2, x_true)
+        x = result.solve(b)
+        assert np.linalg.norm(x - x_true) / np.linalg.norm(x_true) < 1e-10
+
+    def test_matches_full_factorize(self, rng):
+        a = poisson2d(10)
+        a2 = _same_pattern_new_values(a, rng)
+        fast = PanguLUSolver(a, block_size=16)
+        fast.factorize()
+        r_fast = fast.refactorize(a2)
+        r_full = PanguLUSolver(a2, block_size=16).factorize()
+        assert np.allclose(r_fast.L.to_dense(), r_full.L.to_dense())
+        assert np.allclose(r_fast.U.to_dense(), r_full.U.to_dense())
+
+    def test_skips_reorder_and_symbolic(self, rng):
+        a = circuit_like(100, seed=5)
+        solver = PanguLUSolver(a, block_size=16)
+        solver.factorize()
+        r = solver.refactorize(_same_pattern_new_values(a, rng))
+        assert r.phase_seconds["reorder"] == 0.0
+        assert r.phase_seconds["symbolic"] == 0.0
+
+    def test_requires_prior_factorize(self):
+        solver = PanguLUSolver(poisson2d(8), block_size=16)
+        with pytest.raises(RuntimeError):
+            solver.refactorize(poisson2d(8))
+
+    def test_rejects_different_pattern(self):
+        solver = PanguLUSolver(poisson2d(8), block_size=16)
+        solver.factorize()
+        with pytest.raises(ValueError):
+            solver.refactorize(circuit_like(64, seed=1))
+
+    def test_rejects_different_size(self):
+        solver = PanguLUSolver(poisson2d(8), block_size=16)
+        solver.factorize()
+        with pytest.raises(ValueError):
+            solver.refactorize(poisson2d(9))
+
+    def test_superlu_fused_refactorize(self, rng):
+        a = circuit_like(90, seed=7)
+        solver = SuperLUSolver(a, max_supernode=8, scheduler="trojan")
+        solver.factorize()
+        a2 = _same_pattern_new_values(a, rng)
+        r = solver.refactorize(a2)
+        b = rng.standard_normal(a2.nrows)
+        x = r.solve(b)
+        assert r.residual(a2, b, x) < 1e-10
+
+    def test_repeated_refactorisations(self, rng):
+        a = circuit_like(80, seed=9)
+        solver = PanguLUSolver(a, block_size=16)
+        solver.factorize()
+        for step in range(3):
+            a = _same_pattern_new_values(a, rng)
+            r = solver.refactorize(a)
+            b = rng.standard_normal(a.nrows)
+            assert r.residual(a, b, r.solve(b)) < 1e-10

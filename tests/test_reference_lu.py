@@ -1,0 +1,99 @@
+"""Tests for the element-level reference LU and its role as an oracle."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.reference_lu import reference_lu
+from repro.matrices import (
+    cage_like,
+    circuit_like,
+    poisson2d,
+    tridiagonal,
+)
+from repro.solvers import PanguLUSolver, SuperLUSolver
+from repro.sparse import CSRMatrix, matvec, permute_symmetric, spgemm
+
+
+class TestReferenceLU:
+    @pytest.mark.parametrize("builder", [
+        lambda: tridiagonal(25),
+        lambda: poisson2d(7),
+        lambda: circuit_like(60, seed=3),
+        lambda: cage_like(50, seed=1),
+    ])
+    def test_reconstruction(self, builder):
+        a = builder()
+        res = reference_lu(a)
+        lu = spgemm(res.L, res.U).to_dense()
+        assert np.allclose(lu, a.to_dense(), atol=1e-10)
+
+    def test_l_unit_lower(self):
+        res = reference_lu(poisson2d(6))
+        ld = res.L.to_dense()
+        assert np.allclose(np.diag(ld), 1.0)
+        assert np.allclose(np.triu(ld, 1), 0.0)
+
+    def test_u_upper(self):
+        res = reference_lu(poisson2d(6))
+        assert np.allclose(np.tril(res.U.to_dense(), -1), 0.0)
+
+    def test_solve(self, rng):
+        a = circuit_like(80, seed=9)
+        x_true = rng.standard_normal(80)
+        b = matvec(a, x_true)
+        x = reference_lu(a).solve(b)
+        assert np.linalg.norm(x - x_true) / np.linalg.norm(x_true) < 1e-10
+
+    def test_matches_dense_lu(self, rng):
+        dense = rng.standard_normal((12, 12))
+        dense += np.diag(np.abs(dense).sum(axis=1) + 1)
+        a = CSRMatrix.from_dense(dense)
+        res = reference_lu(a)
+        lu = dense.copy()
+        for k in range(11):
+            lu[k + 1:, k] /= lu[k, k]
+            lu[k + 1:, k + 1:] -= np.outer(lu[k + 1:, k], lu[k, k + 1:])
+        assert np.allclose(res.L.to_dense(), np.tril(lu, -1) + np.eye(12))
+        assert np.allclose(res.U.to_dense(), np.triu(lu))
+
+    def test_zero_pivot_raises(self):
+        a = CSRMatrix.from_dense(np.array([[0.0, 1.0], [1.0, 1.0]]))
+        with pytest.raises(ZeroDivisionError):
+            reference_lu(a)
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(ValueError):
+            reference_lu(CSRMatrix.empty((3, 4)))
+
+    def test_fill_discovered(self):
+        # arrowhead reversed: elimination fills the whole matrix
+        from repro.matrices import arrow_matrix
+
+        a = arrow_matrix(8, arms=1)
+        rev = permute_symmetric(a, np.arange(8)[::-1])
+        res = reference_lu(rev)
+        assert res.U.nnz > rev.nnz / 2  # dense fill in U
+
+
+class TestOracleAgainstSolvers:
+    """The independent oracle must agree with every block substrate."""
+
+    @pytest.mark.parametrize("make", [
+        lambda a: PanguLUSolver(a, block_size=16, ordering="natural"),
+        lambda a: SuperLUSolver(a, max_supernode=8, ordering="natural"),
+    ])
+    def test_factors_match_oracle(self, make):
+        a = circuit_like(70, seed=11)
+        run = make(a).factorize()
+        # natural ordering → no permutation → directly comparable
+        oracle = reference_lu(a)
+        assert np.allclose(run.L.to_dense(), oracle.L.to_dense(),
+                           atol=1e-9)
+        assert np.allclose(run.U.to_dense(), oracle.U.to_dense(),
+                           atol=1e-9)
+
+    def test_solutions_match_oracle_with_ordering(self, rng):
+        a = poisson2d(9)
+        b = rng.standard_normal(a.nrows)
+        run = PanguLUSolver(a, block_size=16, ordering="mindeg").factorize()
+        assert np.allclose(run.solve(b), reference_lu(a).solve(b))

@@ -1,0 +1,43 @@
+"""Tests for multi-RHS solves and iterative refinement."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import circuit_like, poisson2d
+from repro.solvers import PanguLUSolver
+from repro.sparse import matvec
+
+
+class TestMultiRHS:
+    def test_matrix_rhs(self, medium_poisson, rng):
+        run = PanguLUSolver(medium_poisson, block_size=16).factorize()
+        B = rng.standard_normal((medium_poisson.nrows, 5))
+        X = run.solve(B)
+        assert X.shape == B.shape
+        for k in range(5):
+            r = matvec(medium_poisson, X[:, k]) - B[:, k]
+            assert np.linalg.norm(r) / np.linalg.norm(B[:, k]) < 1e-10
+
+
+class TestRefinement:
+    def test_refinement_never_hurts(self, rng):
+        a = circuit_like(150, seed=4)
+        run = PanguLUSolver(a, block_size=16).factorize()
+        x_true = rng.standard_normal(a.nrows)
+        b = matvec(a, x_true)
+        x0 = run.solve(b)
+        x2 = run.solve(b, refine=2, a=a)
+        r0 = np.linalg.norm(matvec(a, x0) - b)
+        r2 = np.linalg.norm(matvec(a, x2) - b)
+        assert r2 <= r0 * 1.01
+
+    def test_refinement_requires_matrix(self, medium_poisson):
+        run = PanguLUSolver(medium_poisson, block_size=16).factorize()
+        with pytest.raises(ValueError):
+            run.solve(np.ones(medium_poisson.nrows), refine=1)
+
+    def test_zero_refinement_is_plain_solve(self, medium_poisson, rng):
+        run = PanguLUSolver(medium_poisson, block_size=16).factorize()
+        b = rng.standard_normal(medium_poisson.nrows)
+        assert np.allclose(run.solve(b),
+                           run.solve(b, refine=0, a=medium_poisson))

@@ -1,0 +1,119 @@
+"""Unit tests for partitioning and tile extraction."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import (
+    CSRMatrix,
+    Partition,
+    assemble_from_blocks,
+    block_pattern,
+    extract_block,
+    partition_from_boundaries,
+    split_tiles,
+    uniform_partition,
+)
+
+
+class TestPartition:
+    def test_uniform_divisible(self):
+        p = uniform_partition(12, 4)
+        assert p.nblocks == 3
+        assert np.array_equal(p.sizes(), [4, 4, 4])
+
+    def test_uniform_remainder(self):
+        p = uniform_partition(10, 4)
+        assert p.nblocks == 3
+        assert np.array_equal(p.sizes(), [4, 4, 2])
+
+    def test_uniform_oversized_block(self):
+        p = uniform_partition(5, 100)
+        assert p.nblocks == 1
+        assert p.block_size(0) == 5
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            uniform_partition(10, 0)
+
+    def test_block_of(self):
+        p = uniform_partition(10, 3)
+        assert np.array_equal(p.block_of(np.array([0, 2, 3, 8, 9])),
+                              [0, 0, 1, 2, 3])
+
+    def test_block_range(self):
+        p = partition_from_boundaries([0, 3, 7, 10])
+        assert p.block_range(1) == (3, 7)
+        assert p.block_size(2) == 3
+
+    def test_rejects_nonmonotone(self):
+        with pytest.raises(ValueError):
+            Partition(np.array([0, 5, 3, 10]))
+
+    def test_rejects_missing_zero(self):
+        with pytest.raises(ValueError):
+            Partition(np.array([1, 5]))
+
+    def test_rejects_too_short(self):
+        with pytest.raises(ValueError):
+            Partition(np.array([0]))
+
+
+class TestTiles:
+    def test_extract_block_matches_dense(self, random_sparse):
+        a, dense = random_sparse
+        sub = extract_block(a, 5, 20, 10, 33)
+        sub.check()
+        assert np.allclose(sub.to_dense(), dense[5:20, 10:33])
+
+    def test_extract_empty_region(self, random_sparse):
+        a, _ = random_sparse
+        sub = extract_block(a, 0, 0, 0, 0)
+        assert sub.nnz == 0
+
+    def test_split_roundtrip(self, random_sparse):
+        a, dense = random_sparse
+        part = uniform_partition(40, 7)
+        tiles = split_tiles(a, part)
+        back = assemble_from_blocks(tiles, part)
+        assert np.allclose(back.to_dense(), dense)
+
+    def test_split_tiles_local_coords(self, random_sparse):
+        a, dense = random_sparse
+        part = uniform_partition(40, 16)
+        tiles = split_tiles(a, part)
+        for (bi, bj), tile in tiles.items():
+            r0, r1 = part.block_range(bi)
+            c0, c1 = part.block_range(bj)
+            assert np.allclose(tile.to_dense(), dense[r0:r1, c0:c1])
+
+    def test_split_tiles_omits_empty(self):
+        dense = np.zeros((8, 8))
+        dense[0, 0] = 1.0
+        a = CSRMatrix.from_dense(dense)
+        tiles = split_tiles(a, uniform_partition(8, 4))
+        assert set(tiles) == {(0, 0)}
+
+    def test_split_rejects_wrong_size(self, random_sparse):
+        a, _ = random_sparse
+        with pytest.raises(ValueError):
+            split_tiles(a, uniform_partition(39, 13))
+
+    def test_block_pattern(self, random_sparse):
+        a, dense = random_sparse
+        part = uniform_partition(40, 10)
+        pat = block_pattern(a, part)
+        for bi in range(4):
+            for bj in range(4):
+                expect = np.any(dense[bi * 10:(bi + 1) * 10,
+                                      bj * 10:(bj + 1) * 10])
+                assert pat[bi, bj] == expect
+
+    def test_block_pattern_empty_matrix(self):
+        pat = block_pattern(CSRMatrix.empty((8, 8)), uniform_partition(8, 4))
+        assert not pat.any()
+
+    def test_assemble_skips_empty_tiles(self):
+        part = uniform_partition(6, 3)
+        tiles = {(0, 0): CSRMatrix.empty((3, 3))}
+        out = assemble_from_blocks(tiles, part)
+        assert out.nnz == 0

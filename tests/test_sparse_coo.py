@@ -1,0 +1,76 @@
+"""Unit tests for the COO assembly format."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import COOMatrix, CSRMatrix
+
+
+class TestConstruction:
+    def test_basic_triplets(self):
+        m = COOMatrix((3, 3), [0, 1, 2], [1, 2, 0], [1.0, 2.0, 3.0])
+        assert m.shape == (3, 3)
+        assert m.nnz == 3
+
+    def test_empty(self):
+        m = COOMatrix((4, 5), [], [], [])
+        assert m.nnz == 0
+        assert m.to_csr().nnz == 0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            COOMatrix((3, 3), [0, 1], [1], [1.0])
+
+    def test_out_of_range_row_rejected(self):
+        with pytest.raises(ValueError):
+            COOMatrix((3, 3), [3], [0], [1.0])
+
+    def test_out_of_range_col_rejected(self):
+        with pytest.raises(ValueError):
+            COOMatrix((3, 3), [0], [3], [1.0])
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            COOMatrix((3, 3), [-1], [0], [1.0])
+
+    def test_2d_triplets_rejected(self):
+        with pytest.raises(ValueError):
+            COOMatrix((3, 3), [[0]], [[0]], [[1.0]])
+
+
+class TestConversion:
+    def test_duplicates_are_summed(self):
+        m = COOMatrix((2, 2), [0, 0, 1], [1, 1, 0], [2.0, 3.0, 1.0])
+        csr = m.to_csr()
+        assert csr.nnz == 2
+        dense = csr.to_dense()
+        assert dense[0, 1] == 5.0
+        assert dense[1, 0] == 1.0
+
+    def test_unordered_input_canonicalised(self, rng):
+        dense = (rng.random((10, 12)) < 0.4) * rng.standard_normal((10, 12))
+        r, c = np.nonzero(dense)
+        order = rng.permutation(r.size)
+        m = COOMatrix(dense.shape, r[order], c[order], dense[r, c][order])
+        csr = m.to_csr()
+        csr.check()
+        assert np.allclose(csr.to_dense(), dense)
+
+    def test_to_dense_sums_duplicates(self):
+        m = COOMatrix((2, 2), [1, 1], [1, 1], [1.5, 2.5])
+        assert m.to_dense()[1, 1] == 4.0
+
+    def test_from_dense_roundtrip(self, rng):
+        dense = (rng.random((7, 9)) < 0.5) * rng.standard_normal((7, 9))
+        assert np.allclose(COOMatrix.from_dense(dense).to_dense(), dense)
+
+    def test_cancellation_keeps_structural_zero(self):
+        m = COOMatrix((2, 2), [0, 0], [0, 0], [1.0, -1.0])
+        csr = m.to_csr()
+        assert csr.nnz == 1  # explicit zero kept
+        assert csr.to_dense()[0, 0] == 0.0
+
+    def test_roundtrip_via_csr(self, random_sparse):
+        a, dense = random_sparse
+        back = a.to_coo().to_csr()
+        assert np.allclose(back.to_dense(), dense)

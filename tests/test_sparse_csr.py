@@ -1,0 +1,145 @@
+"""Unit tests for the CSR format."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import CSRMatrix
+
+
+class TestInvariants:
+    def test_check_passes_on_canonical(self, random_sparse):
+        a, _ = random_sparse
+        a.check()
+
+    def test_check_rejects_bad_indptr_length(self):
+        a = CSRMatrix((2, 2), [0, 1], [0], [1.0])
+        with pytest.raises(ValueError):
+            a.check()
+
+    def test_check_rejects_unsorted_row(self):
+        a = CSRMatrix((1, 4), [0, 2], [2, 0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            a.check()
+
+    def test_check_rejects_duplicate_in_row(self):
+        a = CSRMatrix((1, 4), [0, 2], [1, 1], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            a.check()
+
+    def test_check_rejects_out_of_range_col(self):
+        a = CSRMatrix((1, 2), [0, 1], [5], [1.0])
+        with pytest.raises(ValueError):
+            a.check()
+
+    def test_check_rejects_decreasing_indptr(self):
+        a = CSRMatrix((2, 2), [0, 1, 0], [0], [1.0])
+        with pytest.raises(ValueError):
+            a.check()
+
+    def test_check_rejects_indptr_end_mismatch(self):
+        a = CSRMatrix((2, 2), [0, 1, 3], [0, 1], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            a.check()
+
+
+class TestBasics:
+    def test_shape_properties(self, random_sparse):
+        a, dense = random_sparse
+        assert (a.nrows, a.ncols) == dense.shape
+        assert a.nnz == np.count_nonzero(dense)
+
+    def test_row_lengths(self, random_sparse):
+        a, dense = random_sparse
+        assert np.array_equal(a.row_lengths(),
+                              (dense != 0).sum(axis=1))
+
+    def test_row_slice(self, random_sparse):
+        a, dense = random_sparse
+        cols, vals = a.row_slice(3)
+        expect = np.flatnonzero(dense[3])
+        assert np.array_equal(cols, expect)
+        assert np.allclose(vals, dense[3, expect])
+
+    def test_empty_constructor(self):
+        a = CSRMatrix.empty((3, 5))
+        a.check()
+        assert a.nnz == 0
+        assert a.to_dense().shape == (3, 5)
+
+    def test_identity(self):
+        a = CSRMatrix.identity(4)
+        assert np.allclose(a.to_dense(), np.eye(4))
+
+    def test_from_dense_rejects_1d(self):
+        with pytest.raises(ValueError):
+            CSRMatrix.from_dense(np.ones(3))
+
+
+class TestTranspose:
+    def test_transpose_values(self, random_sparse):
+        a, dense = random_sparse
+        t = a.transpose()
+        t.check()
+        assert np.allclose(t.to_dense(), dense.T)
+
+    def test_double_transpose_identity(self, random_sparse):
+        a, dense = random_sparse
+        assert np.allclose(a.transpose().transpose().to_dense(), dense)
+
+    def test_transpose_rectangular(self, rng):
+        dense = (rng.random((5, 11)) < 0.3) * rng.standard_normal((5, 11))
+        a = CSRMatrix.from_dense(dense)
+        assert np.allclose(a.transpose().to_dense(), dense.T)
+
+    def test_transpose_empty(self):
+        t = CSRMatrix.empty((3, 7)).transpose()
+        t.check()
+        assert t.shape == (7, 3)
+
+
+class TestOperations:
+    def test_diagonal(self, rng):
+        dense = rng.standard_normal((6, 6))
+        dense[2, 2] = 0.0
+        a = CSRMatrix.from_dense(dense)
+        d = a.diagonal()
+        expect = np.diag(dense)
+        assert np.allclose(d, expect)
+
+    def test_diagonal_rectangular(self, rng):
+        dense = rng.standard_normal((4, 7))
+        a = CSRMatrix.from_dense(dense)
+        expect = np.array([dense[i, i] for i in range(4)])
+        assert np.allclose(a.diagonal(), expect)
+
+    def test_prune_drops_small(self):
+        dense = np.array([[1.0, 1e-12], [0.0, 2.0]])
+        a = CSRMatrix.from_dense(dense)
+        p = a.prune(tol=1e-10)
+        assert p.nnz == 2
+
+    def test_prune_preserves_values(self, random_sparse):
+        a, dense = random_sparse
+        assert np.allclose(a.prune().to_dense(), dense)
+
+    def test_copy_is_deep(self, random_sparse):
+        a, dense = random_sparse
+        b = a.copy()
+        b.data[:] = 0
+        assert np.allclose(a.to_dense(), dense)
+
+    def test_pattern_symmetrized(self):
+        dense = np.array([[1.0, 2.0], [0.0, 3.0]])
+        a = CSRMatrix.from_dense(dense)
+        s = a.pattern_symmetrized()
+        assert np.allclose(s.to_dense(), np.array([[1.0, 1.0], [1.0, 1.0]]))
+
+    def test_matmul_operator_matrix(self, random_sparse, rng):
+        a, dense = random_sparse
+        other = CSRMatrix.from_dense(np.eye(40))
+        assert np.allclose((a @ other).to_dense(), dense)
+
+    def test_matmul_operator_vector(self, random_sparse, rng):
+        a, dense = random_sparse
+        x = rng.standard_normal(40)
+        assert np.allclose(a @ x, dense @ x)

@@ -1,0 +1,141 @@
+"""Unit tests for sparse operations (matvec, SpGEMM, add, trisolve)."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import (
+    CSRMatrix,
+    matvec,
+    sparse_add,
+    sparse_scale,
+    spgemm,
+    triangular_solve,
+)
+
+
+class TestMatvec:
+    def test_against_dense(self, random_sparse, rng):
+        a, dense = random_sparse
+        x = rng.standard_normal(40)
+        assert np.allclose(matvec(a, x), dense @ x)
+
+    def test_empty_rows_ok(self):
+        a = CSRMatrix.from_dense(np.array([[0.0, 0.0], [1.0, 0.0]]))
+        assert np.allclose(matvec(a, np.ones(2)), [0.0, 1.0])
+
+    def test_zero_matrix(self):
+        a = CSRMatrix.empty((3, 4))
+        assert np.allclose(matvec(a, np.ones(4)), np.zeros(3))
+
+    def test_dimension_mismatch(self, random_sparse):
+        a, _ = random_sparse
+        with pytest.raises(ValueError):
+            matvec(a, np.ones(41))
+
+
+class TestSpGEMM:
+    def test_against_dense(self, rng):
+        da = (rng.random((13, 17)) < 0.3) * rng.standard_normal((13, 17))
+        db = (rng.random((17, 11)) < 0.3) * rng.standard_normal((17, 11))
+        c = spgemm(CSRMatrix.from_dense(da), CSRMatrix.from_dense(db))
+        c.check()
+        assert np.allclose(c.to_dense(), da @ db)
+
+    def test_identity_left(self, random_sparse):
+        a, dense = random_sparse
+        i = CSRMatrix.identity(40)
+        assert np.allclose(spgemm(i, a).to_dense(), dense)
+
+    def test_identity_right(self, random_sparse):
+        a, dense = random_sparse
+        i = CSRMatrix.identity(40)
+        assert np.allclose(spgemm(a, i).to_dense(), dense)
+
+    def test_empty_operand(self):
+        a = CSRMatrix.empty((3, 4))
+        b = CSRMatrix.identity(4)
+        assert spgemm(a, b).nnz == 0
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            spgemm(CSRMatrix.empty((3, 4)), CSRMatrix.empty((5, 3)))
+
+    def test_associativity(self, rng):
+        mats = []
+        for shape in [(6, 7), (7, 8), (8, 5)]:
+            d = (rng.random(shape) < 0.4) * rng.standard_normal(shape)
+            mats.append(CSRMatrix.from_dense(d))
+        left = spgemm(spgemm(mats[0], mats[1]), mats[2])
+        right = spgemm(mats[0], spgemm(mats[1], mats[2]))
+        assert np.allclose(left.to_dense(), right.to_dense())
+
+
+class TestAddScale:
+    def test_add_against_dense(self, rng):
+        da = (rng.random((9, 9)) < 0.4) * rng.standard_normal((9, 9))
+        db = (rng.random((9, 9)) < 0.4) * rng.standard_normal((9, 9))
+        s = sparse_add(CSRMatrix.from_dense(da), CSRMatrix.from_dense(db),
+                       2.0, -3.0)
+        assert np.allclose(s.to_dense(), 2 * da - 3 * db)
+
+    def test_add_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            sparse_add(CSRMatrix.empty((2, 2)), CSRMatrix.empty((3, 3)))
+
+    def test_scale(self, random_sparse):
+        a, dense = random_sparse
+        assert np.allclose(sparse_scale(a, -0.5).to_dense(), -0.5 * dense)
+
+    def test_scale_does_not_mutate(self, random_sparse):
+        a, dense = random_sparse
+        sparse_scale(a, 0.0)
+        assert np.allclose(a.to_dense(), dense)
+
+
+class TestTriangularSolve:
+    def test_lower(self, rng):
+        l = np.tril(rng.standard_normal((15, 15))) + 8 * np.eye(15)
+        b = rng.standard_normal(15)
+        x = triangular_solve(CSRMatrix.from_dense(l), b, lower=True)
+        assert np.allclose(l @ x, b)
+
+    def test_upper(self, rng):
+        u = np.triu(rng.standard_normal((15, 15))) + 8 * np.eye(15)
+        b = rng.standard_normal(15)
+        x = triangular_solve(CSRMatrix.from_dense(u), b, lower=False)
+        assert np.allclose(u @ x, b)
+
+    def test_unit_diagonal_lower(self, rng):
+        l = np.tril(rng.standard_normal((10, 10)), -1) + np.eye(10)
+        b = rng.standard_normal(10)
+        # drop the stored unit diagonal entirely; unit_diagonal fills it in
+        strict = np.tril(l, -1)
+        x = triangular_solve(CSRMatrix.from_dense(strict), b,
+                             lower=True, unit_diagonal=True)
+        assert np.allclose(l @ x, b)
+
+    def test_multiple_rhs(self, rng):
+        l = np.tril(rng.standard_normal((12, 12))) + 6 * np.eye(12)
+        b = rng.standard_normal((12, 4))
+        x = triangular_solve(CSRMatrix.from_dense(l), b, lower=True)
+        assert x.shape == (12, 4)
+        assert np.allclose(l @ x, b)
+
+    def test_zero_diagonal_raises(self):
+        l = np.array([[1.0, 0.0], [2.0, 0.0]])
+        with pytest.raises(ZeroDivisionError):
+            triangular_solve(CSRMatrix.from_dense(l), np.ones(2), lower=True)
+
+    def test_not_lower_triangular_raises(self, rng):
+        d = rng.standard_normal((5, 5)) + 5 * np.eye(5)
+        with pytest.raises(ValueError):
+            triangular_solve(CSRMatrix.from_dense(d), np.ones(5), lower=True)
+
+    def test_not_upper_triangular_raises(self, rng):
+        d = rng.standard_normal((5, 5)) + 5 * np.eye(5)
+        with pytest.raises(ValueError):
+            triangular_solve(CSRMatrix.from_dense(d), np.ones(5), lower=False)
+
+    def test_non_square_raises(self):
+        with pytest.raises(ValueError):
+            triangular_solve(CSRMatrix.empty((3, 4)), np.ones(4))

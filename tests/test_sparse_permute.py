@@ -1,0 +1,80 @@
+"""Unit tests for permutation utilities."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import (
+    CSRMatrix,
+    inverse_permutation,
+    permute_cols,
+    permute_rows,
+    permute_symmetric,
+)
+
+
+class TestInverse:
+    def test_roundtrip(self, rng):
+        p = rng.permutation(20)
+        inv = inverse_permutation(p)
+        assert np.array_equal(p[inv], np.arange(20))
+        assert np.array_equal(inv[p], np.arange(20))
+
+    def test_identity(self):
+        p = np.arange(5)
+        assert np.array_equal(inverse_permutation(p), p)
+
+
+class TestPermutations:
+    def test_rows_matches_numpy(self, random_sparse, rng):
+        a, dense = random_sparse
+        p = rng.permutation(40)
+        assert np.allclose(permute_rows(a, p).to_dense(), dense[p])
+
+    def test_cols_matches_numpy(self, random_sparse, rng):
+        a, dense = random_sparse
+        p = rng.permutation(40)
+        assert np.allclose(permute_cols(a, p).to_dense(), dense[:, p])
+
+    def test_symmetric_matches_numpy(self, random_sparse, rng):
+        a, dense = random_sparse
+        p = rng.permutation(40)
+        assert np.allclose(permute_symmetric(a, p).to_dense(),
+                           dense[np.ix_(p, p)])
+
+    def test_identity_permutation_is_noop(self, random_sparse):
+        a, dense = random_sparse
+        p = np.arange(40)
+        assert np.allclose(permute_symmetric(a, p).to_dense(), dense)
+
+    def test_result_is_canonical(self, random_sparse, rng):
+        a, _ = random_sparse
+        p = rng.permutation(40)
+        permute_symmetric(a, p).check()
+        permute_rows(a, p).check()
+        permute_cols(a, p).check()
+
+    def test_preserves_diagonal_dominance(self, rng):
+        from repro.matrices import circuit_like
+
+        a = circuit_like(50, seed=1)
+        p = rng.permutation(50)
+        b = permute_symmetric(a, p)
+        d = b.to_dense()
+        off = np.abs(d).sum(axis=1) - np.abs(np.diag(d))
+        assert np.all(np.abs(np.diag(d)) > off)
+
+    def test_invalid_length_rejected(self, random_sparse):
+        a, _ = random_sparse
+        with pytest.raises(ValueError):
+            permute_rows(a, np.arange(39))
+
+    def test_non_permutation_rejected(self, random_sparse):
+        a, _ = random_sparse
+        bad = np.zeros(40, dtype=int)
+        with pytest.raises(ValueError):
+            permute_rows(a, bad)
+
+    def test_symmetric_requires_square(self):
+        a = CSRMatrix.empty((3, 4))
+        with pytest.raises(ValueError):
+            permute_symmetric(a, np.arange(3))

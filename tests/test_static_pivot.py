@@ -1,0 +1,107 @@
+"""Tests for the MC64-style static pivoting permutation."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.reference_lu import reference_lu
+from repro.matrices import circuit_like, poisson2d
+from repro.ordering import static_pivot_permutation
+from repro.sparse import CSRMatrix, matvec, permute_rows
+
+
+class TestMatching:
+    def test_identity_on_dominant_matrix(self):
+        # an already strongly dominant diagonal is the optimal matching
+        a = poisson2d(6)
+        perm = static_pivot_permutation(a)
+        assert np.array_equal(perm, np.arange(36))
+
+    def test_repairs_zero_diagonal(self, rng):
+        # a cyclic permutation matrix scaled by values: diagonal all zero
+        n = 10
+        dense = np.zeros((n, n))
+        for i in range(n):
+            dense[i, (i + 1) % n] = 1.0 + rng.random()
+        a = CSRMatrix.from_dense(dense)
+        perm = static_pivot_permutation(a)
+        permuted = permute_rows(a, perm)
+        assert np.all(permuted.diagonal() != 0)
+
+    def test_maximises_product_on_small_case(self):
+        # 2x2 where off-diagonal matching wins:
+        # [[1, 10], [10, 1]] → swap rows for product 100 vs 1
+        a = CSRMatrix.from_dense(np.array([[1.0, 10.0], [10.0, 1.0]]))
+        perm = static_pivot_permutation(a)
+        permuted = permute_rows(a, perm)
+        d = np.abs(permuted.diagonal())
+        assert np.prod(d) == pytest.approx(100.0)
+
+    def test_never_decreases_diagonal_product(self, rng):
+        for seed in range(5):
+            r = np.random.default_rng(seed)
+            dense = (r.random((12, 12)) < 0.5) * r.standard_normal((12, 12))
+            dense += np.diag(r.random(12) * 0.1 + 0.01)  # weak diagonal
+            a = CSRMatrix.from_dense(dense)
+            perm = static_pivot_permutation(a)
+            before = np.prod(np.abs(np.diag(dense)) + 1e-300)
+            after = np.prod(np.abs(permute_rows(a, perm).diagonal())
+                            + 1e-300)
+            assert after >= before * (1 - 1e-9)
+
+    def test_structurally_singular_rejected(self):
+        dense = np.zeros((3, 3))
+        dense[:, 0] = 1.0  # columns 1,2 empty
+        with pytest.raises(ValueError):
+            static_pivot_permutation(CSRMatrix.from_dense(dense))
+
+    def test_rectangular_rejected(self):
+        with pytest.raises(ValueError):
+            static_pivot_permutation(CSRMatrix.empty((3, 4)))
+
+    def test_result_is_permutation(self):
+        a = circuit_like(60, seed=13)
+        perm = static_pivot_permutation(a)
+        assert np.array_equal(np.sort(perm), np.arange(60))
+
+
+class TestOptimality:
+    def test_matches_reference_assignment_solver(self):
+        scipy_opt = pytest.importorskip("scipy.optimize")
+        for seed in range(40):
+            r = np.random.default_rng(seed)
+            n = int(r.integers(3, 15))
+            dense = (r.random((n, n)) < 0.4) * r.standard_normal((n, n))
+            dense += np.diag(r.random(n) + 0.5)
+            a = CSRMatrix.from_dense(dense)
+            perm = static_pivot_permutation(a)
+            mine = np.sum(np.log(np.abs(permute_rows(a, perm).diagonal())))
+            w = np.full((n, n), -1e9)
+            nz = dense != 0
+            w[nz] = np.log(np.abs(dense[nz]))
+            rows, cols = scipy_opt.linear_sum_assignment(-w)
+            best = w[rows, cols].sum()
+            assert mine >= best - 1e-8, seed
+
+
+class TestPipelineIntegration:
+    def test_enables_pivot_free_lu_on_weak_diagonal(self, rng):
+        # a matrix the pivot-free path cannot factor directly becomes
+        # factorisable after static pivoting — SuperLU_DIST's exact recipe
+        n = 12
+        dense = np.zeros((n, n))
+        for i in range(n):
+            dense[i, (i + 3) % n] = 5.0 + rng.random()   # strong off-diag
+            dense[i, i] = 0.0
+        dense += (rng.random((n, n)) < 0.2) * 0.01
+        np.fill_diagonal(dense, 0.0)
+        a = CSRMatrix.from_dense(dense)
+        with pytest.raises(ZeroDivisionError):
+            reference_lu(a)
+        perm = static_pivot_permutation(a)
+        pivoted = permute_rows(a, perm)
+        res = reference_lu(pivoted)
+        # solve A x = b through the pivoted factorisation
+        x_true = rng.standard_normal(n)
+        b = matvec(a, x_true)
+        x = res.solve(b[perm])
+        assert np.allclose(x, x_true, atol=1e-8)

@@ -1,0 +1,66 @@
+"""Tests for the Chrome-trace export."""
+
+import io
+import json
+
+import pytest
+
+from repro.analysis import write_trace
+from repro.cluster import DistributedSimulator, H100_CLUSTER
+from repro.core import build_block_dag, make_scheduler
+from repro.core.executor import EstimateBackend
+from repro.gpusim import GPUCostModel, RTX5090
+from repro.matrices import circuit_like
+from repro.ordering import compute_ordering
+from repro.sparse import permute_symmetric, uniform_partition
+from repro.symbolic import block_fill
+
+
+@pytest.fixture(scope="module")
+def dag():
+    a = circuit_like(100, seed=3)
+    b = permute_symmetric(a, compute_ordering(a, "mindeg"))
+    part = uniform_partition(100, 10)
+    return build_block_dag(block_fill(b, part), part)
+
+
+class TestScheduleTrace:
+    def test_roundtrips_as_json(self, dag, tmp_path):
+        r = make_scheduler("trojan", dag, EstimateBackend(),
+                           GPUCostModel(RTX5090)).run()
+        path = tmp_path / "trace.json"
+        write_trace(path, r)
+        data = json.loads(path.read_text())
+        assert len(data["traceEvents"]) == r.kernel_count
+
+    def test_events_cover_timeline(self, dag):
+        r = make_scheduler("serial", dag, EstimateBackend(),
+                           GPUCostModel(RTX5090)).run()
+        buf = io.StringIO()
+        write_trace(buf, r)
+        events = json.loads(buf.getvalue())["traceEvents"]
+        assert all(e["ph"] == "X" and e["dur"] > 0 for e in events)
+        end = max(e["ts"] + e["dur"] for e in events)
+        assert end == pytest.approx(r.kernel_time * 1e6, rel=1e-6)
+
+    def test_unknown_type_rejected(self, tmp_path):
+        with pytest.raises(TypeError):
+            write_trace(tmp_path / "x.json", object())
+
+
+class TestDistributedTrace:
+    def test_per_process_rows(self, dag, tmp_path):
+        sim = DistributedSimulator(dag, EstimateBackend(), H100_CLUSTER,
+                                   4, "trojan", record_timeline=True)
+        res = sim.run()
+        path = tmp_path / "dist.json"
+        write_trace(path, res)
+        events = json.loads(path.read_text())["traceEvents"]
+        assert {e["tid"] for e in events} <= {0, 1, 2, 3}
+        assert len(events) == res.total_kernels
+
+    def test_requires_recorded_timeline(self, dag, tmp_path):
+        res = DistributedSimulator(dag, EstimateBackend(), H100_CLUSTER,
+                                   2, "serial").run()
+        with pytest.raises(ValueError):
+            write_trace(tmp_path / "x.json", res)
