@@ -19,18 +19,31 @@ in :mod:`repro.core.baselines`.
 """
 
 from repro.core.task import Task, TaskType
-from repro.core.dag import TaskDAG, build_block_dag
+from repro.core.dag import TaskDAG, TaskArrays, build_block_dag
+from repro.core.arena import ScheduleArena
+from repro.core.analysis_cache import (
+    AnalysisCache,
+    DEFAULT_ANALYSIS_CACHE,
+    pattern_digest,
+    partition_digest,
+)
 from repro.core.prioritizer import Prioritizer
-from repro.core.container import Container
-from repro.core.collector import Collector
+from repro.core.container import Container, ArrayContainer
+from repro.core.collector import Collector, admissible_prefix
 from repro.core.executor import (
     Executor,
     ExecutionBackend,
     ReplayBackend,
+    EstimateBackend,
     BlockTaskMapping,
     BatchRecord,
 )
-from repro.core.scheduler import TrojanHorseScheduler, ScheduleResult
+from repro.core.scheduler import (
+    TrojanHorseScheduler,
+    ScheduleResult,
+    empty_schedule_result,
+)
+from repro.core.reference import ReferenceTrojanScheduler
 from repro.core.baselines import (
     SerialScheduler,
     LevelBatchScheduler,
@@ -49,17 +62,28 @@ __all__ = [
     "Task",
     "TaskType",
     "TaskDAG",
+    "TaskArrays",
     "build_block_dag",
+    "ScheduleArena",
+    "AnalysisCache",
+    "DEFAULT_ANALYSIS_CACHE",
+    "pattern_digest",
+    "partition_digest",
     "Prioritizer",
     "Container",
+    "ArrayContainer",
     "Collector",
+    "admissible_prefix",
     "Executor",
     "ExecutionBackend",
     "ReplayBackend",
+    "EstimateBackend",
     "BlockTaskMapping",
     "BatchRecord",
     "TrojanHorseScheduler",
     "ScheduleResult",
+    "empty_schedule_result",
+    "ReferenceTrojanScheduler",
     "SerialScheduler",
     "LevelBatchScheduler",
     "StreamScheduler",

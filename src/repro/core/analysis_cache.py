@@ -1,0 +1,140 @@
+"""Pattern-keyed LRU cache for the symbolic-analysis products.
+
+The symbolic phase — element-level fill, block fill, tile nnz split and
+the task DAG — depends only on the *sparsity pattern* of the (permuted)
+matrix and the tile partition, never on the numeric values.  Workloads
+that factorise many same-pattern matrices (circuit-simulation Newton
+loops, parameter sweeps, the Figure-10 200-matrix collection with
+repeated generators) therefore pay for the analysis exactly once: the
+cache key is a digest of ``indptr``/``indices`` plus the partition
+boundaries, and the cached value is the finished analysis.
+
+Cached objects are shared, which is safe by construction: ``FillResult``
+is frozen, the block-fill map and tile-nnz dict are never written after
+construction, and :class:`~repro.core.dag.TaskDAG` is immutable at run
+time (schedulers copy the predecessor counters).  Sharing the DAG also
+shares its lazily built successor CSR index, task arrays and
+critical-path ranks, so a cache hit skips the scheduler's static
+analysis too.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Any, Callable
+
+import numpy as np
+
+
+def pattern_digest(a) -> str:
+    """Digest of a CSR matrix's sparsity pattern (values excluded).
+
+    Hashes ``shape``, ``indptr`` *and* ``indices`` — two matrices with
+    equal shape and nnz but different patterns never collide.
+    """
+    h = hashlib.sha1()
+    h.update(np.asarray(a.shape, dtype=np.int64).tobytes())
+    h.update(np.ascontiguousarray(a.indptr, dtype=np.int64).tobytes())
+    h.update(np.ascontiguousarray(a.indices, dtype=np.int64).tobytes())
+    return h.hexdigest()
+
+
+def partition_digest(part) -> str:
+    """Digest of a tile partition's boundaries."""
+    h = hashlib.sha1()
+    h.update(np.ascontiguousarray(part.boundaries, dtype=np.int64).tobytes())
+    return h.hexdigest()
+
+
+class AnalysisCache:
+    """Bounded LRU over namespaced analysis keys.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of stored entries; the least recently used entry
+        is evicted on overflow.  Each entry is one analysis product (an
+        element fill, or one block-analysis triple), so memory scales
+        with the fill size of the ``capacity`` most recent patterns.
+    """
+
+    def __init__(self, capacity: int = 32):
+        if capacity <= 0:
+            raise ValueError("cache capacity must be positive")
+        self.capacity = int(capacity)
+        self._store: OrderedDict[str, Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    # generic LRU plumbing
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._store
+
+    def get_or_compute(self, key: str, factory: Callable[[], Any]) -> Any:
+        """Return the cached value for ``key``, computing it on a miss."""
+        if key in self._store:
+            self.hits += 1
+            self._store.move_to_end(key)
+            return self._store[key]
+        self.misses += 1
+        value = factory()
+        self._store[key] = value
+        if len(self._store) > self.capacity:
+            self._store.popitem(last=False)
+            self.evictions += 1
+        return value
+
+    def clear(self) -> None:
+        """Drop every entry and reset the accounting."""
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        """Accounting snapshot for benches and tests."""
+        return {
+            "entries": len(self._store),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+    # ------------------------------------------------------------------
+    # the two analysis namespaces
+    # ------------------------------------------------------------------
+    def fill_for(self, a, compute: Callable[[], Any]):
+        """Memoized element-level fill (``symbolic_fill``) for ``a``."""
+        return self.get_or_compute(f"fill:{pattern_digest(a)}", compute)
+
+    def block_analysis_for(self, a, part, sparse_tiles: bool,
+                           compute: Callable[[], Any]):
+        """Memoized block-level products for ``(pattern, partition)``.
+
+        The value is whatever ``compute`` returns — the engine stores a
+        ``(block_fill, tile_nnz, TaskDAG)`` triple.  ``sparse_tiles`` is
+        part of the key because it changes the DAG's task accounting.
+        """
+        key = (f"dag:{pattern_digest(a)}:{partition_digest(part)}"
+               f":{int(bool(sparse_tiles))}")
+        return self.get_or_compute(key, compute)
+
+
+#: Process-wide default cache the solver drivers share, sized for a
+#: couple of solver/partition combinations over a handful of patterns.
+DEFAULT_ANALYSIS_CACHE = AnalysisCache(capacity=32)

@@ -1,0 +1,72 @@
+"""Preallocated vectorized scheduling state (the ScheduleArena).
+
+The Algorithm-1 loop used to pay per-task Python costs three times per
+round: heap pops in the Prioritizer, dict/attribute lookups on ``Task``
+objects, and a per-successor decrement loop after every batch.  The
+arena removes all three: task metadata lives in column arrays
+(:meth:`~repro.core.dag.TaskDAG.task_arrays`), successor edges in a
+CSR-style index built once (:meth:`~repro.core.dag.TaskDAG.successor_csr`),
+and batch completion becomes one ``np.subtract.at`` over the gathered
+successor slice.
+
+One arena serves one scheduler run; the static per-DAG products (CSR
+index, task arrays, critical-path ranks) are cached on the DAG itself,
+so constructing a fresh arena per run is O(n) in the predecessor-copy
+only — cheap enough for the resimulate-based scheduler sweeps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dag import TaskArrays, TaskDAG, _gather_csr
+
+
+class ScheduleArena:
+    """Mutable vectorized run state over an immutable :class:`TaskDAG`.
+
+    Attributes
+    ----------
+    dag:
+        The task DAG (never mutated).
+    arrays:
+        Column-oriented task metadata shared across runs.
+    cp:
+        Criticality ranks (longest path to sink), shared across runs.
+    pred:
+        This run's live predecessor counters (the only per-run copy).
+    """
+
+    def __init__(self, dag: TaskDAG):
+        self.dag = dag
+        self._indptr, self._indices = dag.successor_csr()
+        self.arrays: TaskArrays = dag.task_arrays()
+        self.cp: np.ndarray = dag.critical_path_lengths()
+        self.pred: np.ndarray = dag.pred_count.copy()
+
+    @property
+    def n_tasks(self) -> int:
+        """Total number of tasks."""
+        return self.dag.n_tasks
+
+    def reset(self) -> None:
+        """Rewind the run state so the arena can schedule again."""
+        np.copyto(self.pred, self.dag.pred_count)
+
+    def initial_ready(self) -> np.ndarray:
+        """Task ids with no predecessors, ascending."""
+        return np.flatnonzero(self.pred == 0)
+
+    def complete(self, tids: np.ndarray) -> np.ndarray:
+        """Retire a batch; returns the newly ready task ids (ascending).
+
+        All successor counters of the batch decrement in one
+        ``np.subtract.at`` over the CSR gather — a successor fed by
+        several batch members is decremented once per edge.
+        """
+        succ, _ = _gather_csr(self._indptr, self._indices,
+                              np.asarray(tids, dtype=np.int64))
+        if not succ.size:
+            return succ
+        np.subtract.at(self.pred, succ, 1)
+        return np.unique(succ[self.pred[succ] == 0])

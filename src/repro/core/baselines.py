@@ -16,7 +16,8 @@ import heapq
 
 import numpy as np
 
-from repro.core.collector import Collector
+from repro.core.arena import ScheduleArena
+from repro.core.collector import admissible_prefix
 from repro.core.dag import TaskDAG
 from repro.core.executor import BatchRecord, ExecutionBackend, Executor
 from repro.core.scheduler import (
@@ -24,6 +25,7 @@ from repro.core.scheduler import (
     PER_TASK_SCHED_US,
     ScheduleResult,
     TrojanHorseScheduler,
+    empty_schedule_result,
 )
 from repro.core.task import TaskType
 from repro.gpusim.costmodel import GPUCostModel, KernelLaunch
@@ -31,7 +33,14 @@ from repro.gpusim.streams import StreamSimulator
 
 
 class SerialScheduler:
-    """One kernel launch per task, priority order (PanguLU baseline)."""
+    """One kernel launch per task, priority order (PanguLU baseline).
+
+    The launch-per-task policy is inherently sequential, but the run
+    state still lives in a :class:`ScheduleArena`: per-completion
+    successor decrements are one array slice instead of a Python loop,
+    and replay/estimate backends account each launch without touching
+    ``Task`` objects.
+    """
 
     name = "serial"
 
@@ -44,23 +53,27 @@ class SerialScheduler:
     def run(self) -> ScheduleResult:
         """Execute the whole DAG task by task."""
         dag = self._dag
-        pred = dag.pred_count.copy()
+        if dag.n_tasks == 0:
+            return empty_schedule_result(self.name, self._model.gpu.name, dag)
+        arena = ScheduleArena(dag)
+        arrays = arena.arrays
         execu = Executor(self._model, self._backend)
-        heap = [(dag.tasks[t].distance, dag.tasks[t].k, t)
-                for t in dag.initial_ready()]
+        heap = [(int(arrays.distance[t]), int(arrays.k[t]), int(t))
+                for t in arena.initial_ready()]
         heapq.heapify(heap)
         batches: list[BatchRecord] = []
+        one = np.empty(1, dtype=np.int64)
         t = 0.0
         while heap:
             _, _, tid = heapq.heappop(heap)
-            record = execu.run_batch([dag.tasks[tid]], t)
+            one[0] = tid
+            record = execu.run_batch_ids(one, t, arena)
             t = record.t_end
             batches.append(record)
-            for s in dag.successors[tid]:
-                pred[s] -= 1
-                if pred[s] == 0:
-                    task = dag.tasks[s]
-                    heapq.heappush(heap, (task.distance, task.k, s))
+            for s in arena.complete(one):
+                heapq.heappush(
+                    heap, (int(arrays.distance[s]), int(arrays.k[s]), int(s))
+                )
         if len(batches) != dag.n_tasks:
             raise AssertionError("serial scheduler missed tasks — DAG bug")
         sched = (PER_TASK_SCHED_US * dag.n_tasks) * 1e-6
@@ -95,31 +108,40 @@ class LevelBatchScheduler:
         self._model = model
 
     def run(self) -> ScheduleResult:
-        """Execute the DAG level by level."""
+        """Execute the DAG level by level.
+
+        Vectorized: each level is partitioned into same-type runs with
+        one lexsort, and every run is split into capacity-bound batches
+        by repeated cumulative-sum admission prefixes — equivalent to
+        feeding the run through a Collector task by task.
+        """
         dag = self._dag
+        if dag.n_tasks == 0:
+            return empty_schedule_result(self.name, self._model.gpu.name, dag)
+        arena = ScheduleArena(dag)
+        arrays = arena.arrays
+        max_blocks = self._model.gpu.max_resident_blocks
+        max_shmem = self._model.gpu.shared_mem_total_bytes
         execu = Executor(self._model, self._backend)
-        coll = Collector(self._model.gpu)
         batches: list[BatchRecord] = []
         t = 0.0
         for level in dag.level_schedule():
-            by_type: dict[TaskType, list[int]] = {}
-            for tid in level:
-                by_type.setdefault(dag.tasks[tid].type, []).append(int(tid))
-            for ttype in sorted(by_type, key=int):
-                group = by_type[ttype]
-                coll.reset()
-                for tid in group:
-                    task = dag.tasks[tid]
-                    if not coll.try_push(task):
-                        record = execu.run_batch(coll.tasks, t)
-                        t = record.t_end
-                        batches.append(record)
-                        coll.reset()
-                        coll.try_push(task)
-                if not coll.is_empty:
-                    record = execu.run_batch(coll.tasks, t)
+            codes = arrays.type_code[level]
+            ordered = level[np.lexsort((level, codes))]
+            # boundaries of the same-type runs (codes ascending)
+            splits = np.flatnonzero(np.diff(arrays.type_code[ordered])) + 1
+            for group in np.split(ordered, splits):
+                start = 0
+                while start < group.size:
+                    rest = group[start:]
+                    admitted = admissible_prefix(
+                        arrays.cuda_blocks[rest], arrays.shared_mem[rest],
+                        max_blocks, max_shmem,
+                    )
+                    record = execu.run_batch_ids(rest[:admitted], t, arena)
                     t = record.t_end
                     batches.append(record)
+                    start += admitted
         sched = (PER_TASK_SCHED_US * dag.n_tasks
                  + PER_BATCH_SCHED_US * len(batches)) * 1e-6
         return ScheduleResult(
@@ -158,24 +180,39 @@ class StreamScheduler:
     def run(self) -> ScheduleResult:
         """Execute the DAG with stream-overlapped per-task kernels."""
         dag = self._dag
-        pred = dag.pred_count.copy()
+        if dag.n_tasks == 0:
+            return empty_schedule_result(self.name, self._model.gpu.name, dag)
+        arena = ScheduleArena(dag)
+        arrays = arena.arrays
+        fast = hasattr(self._backend, "batch_stats")
+        no_atomic = np.zeros(1, dtype=bool)
+        one = np.empty(1, dtype=np.int64)
         ready_time = np.zeros(dag.n_tasks)
         clocks = [0.0] * self._n_streams
         overhead = self._model.gpu.launch_overhead_us * 1e-6
         dispatch = self._model.gpu.dispatch_serial_us * 1e-6
         device_clock = 0.0   # SM time is shared across streams
         dispatch_clock = 0.0  # CPU-side submission is serialised
-        heap = [(0.0, dag.tasks[t].distance, t) for t in dag.initial_ready()]
+        heap = [(0.0, int(arrays.distance[t]), int(t))
+                for t in arena.initial_ready()]
         heapq.heapify(heap)
         batches: list[BatchRecord] = []
         done = 0
         while heap:
             r_time, _, tid = heapq.heappop(heap)
-            task = dag.tasks[tid]
-            stats = self._backend.run_task(task, False)
-            launch = KernelLaunch()
-            launch.add_task(task.cuda_blocks, stats.flops, stats.bytes,
-                            task.shared_mem_bytes)
+            one[0] = tid
+            if fast:
+                flops, nbytes = self._backend.batch_stats(
+                    one, no_atomic, arrays
+                )
+            else:
+                stats = self._backend.run_task(dag.tasks[tid], False)
+                flops, nbytes = stats.flops, stats.bytes
+            blocks = int(arrays.cuda_blocks[tid])
+            launch = KernelLaunch(
+                cuda_blocks=blocks, flops=flops, bytes=nbytes,
+                shared_mem_bytes=int(arrays.shared_mem[tid]), n_tasks=1,
+            )
             s = min(range(self._n_streams), key=lambda q: clocks[q])
             issue = max(clocks[s], r_time, dispatch_clock)
             dispatch_clock = issue + dispatch
@@ -186,17 +223,21 @@ class StreamScheduler:
             device_clock = end
             batches.append(BatchRecord(
                 t_start=start, t_end=end, task_ids=[tid], n_tasks=1,
-                cuda_blocks=task.cuda_blocks, flops=stats.flops,
-                bytes=stats.bytes, types={task.type.name: 1},
+                cuda_blocks=blocks, flops=flops,
+                bytes=nbytes,
+                types={TaskType(int(arrays.type_code[tid])).name: 1},
             ))
             done += 1
-            for nxt in dag.successors[tid]:
-                ready_time[nxt] = max(ready_time[nxt], end)
-                pred[nxt] -= 1
-                if pred[nxt] == 0:
-                    heapq.heappush(
-                        heap, (ready_time[nxt], dag.tasks[nxt].distance, nxt)
-                    )
+            # kernel ends are monotone (device time is serialised), so the
+            # completion that readies a task carries its max-predecessor end
+            newly = arena.complete(one)
+            ready_time[newly] = end
+            for nxt in newly:
+                heapq.heappush(
+                    heap,
+                    (float(ready_time[nxt]), int(arrays.distance[nxt]),
+                     int(nxt))
+                )
         if done != dag.n_tasks:
             raise AssertionError("stream scheduler missed tasks — DAG bug")
         sched = (PER_TASK_SCHED_US * dag.n_tasks) * 1e-6

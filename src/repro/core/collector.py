@@ -9,8 +9,63 @@ alone (it must run *somehow*).
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.task import Task
 from repro.gpusim.specs import GPUSpec
+
+
+def admissible_prefix(blocks: np.ndarray, shmem: np.ndarray,
+                      max_blocks: int, max_shmem: int,
+                      base_blocks: int = 0, base_shmem: int = 0,
+                      base_count: int = 0, max_tasks: int | None = None,
+                      stop_when_full: bool = False) -> int:
+    """How many leading candidates a sequential ``try_push`` run admits.
+
+    Vectorized equivalent of feeding ``blocks[q], shmem[q]`` tasks one by
+    one into a :class:`Collector` holding ``base_*`` resources already:
+    running budget totals become cumulative sums and the admission rule a
+    boolean mask, so one call replaces the per-task Python loop of the
+    Aggregate/Batch stages.
+
+    Parameters
+    ----------
+    blocks, shmem:
+        Per-candidate CUDA-block and shared-memory footprints, in the
+        order the sequential loop would offer them.
+    max_blocks, max_shmem, max_tasks:
+        The Collector budgets.
+    base_blocks, base_shmem, base_count:
+        Resources already admitted before the first candidate.
+    stop_when_full:
+        Also stop when the Collector is already *full* before a push
+        (the Batch-stage top-up checks ``is_full`` between pushes; the
+        Aggregate stage does not).
+
+    Returns
+    -------
+    int
+        Length of the admitted prefix (0..len(blocks)).
+    """
+    m = len(blocks)
+    if m == 0:
+        return 0
+    cum_b = base_blocks + np.cumsum(blocks)
+    cum_s = base_shmem + np.cumsum(shmem)
+    count_after = base_count + np.arange(1, m + 1)
+    ok = (cum_b <= max_blocks) & (cum_s <= max_shmem)
+    # an oversized task may occupy an empty Collector alone
+    ok |= count_after == 1
+    if max_tasks is not None:
+        ok &= count_after <= max_tasks
+    if stop_when_full:
+        full_before = ((cum_b - blocks) >= max_blocks) \
+            | ((cum_s - shmem) >= max_shmem)
+        if max_tasks is not None:
+            full_before |= (count_after - 1) >= max_tasks
+        ok &= ~full_before
+    bad = np.flatnonzero(~ok)
+    return int(bad[0]) if bad.size else m
 
 
 class Collector:

@@ -10,7 +10,96 @@ from __future__ import annotations
 
 import heapq
 
+import numpy as np
+
 from repro.core.task import Task
+
+
+class ArrayContainer:
+    """Vectorized Container: deferred tasks in preallocated NumPy slabs.
+
+    Same pop priority as :class:`Container` — ``(not urgent, distance,
+    k, seq)`` — but tasks are pushed a whole round at a time and drained
+    a whole admission prefix at a time, so the per-task heap churn of
+    the Aggregate stage disappears.  The slot index doubles as the
+    insertion sequence number: a stable lexsort over ``(urgency,
+    distance, k)`` in slot order reproduces the heap's tie-breaking.
+
+    Parameters
+    ----------
+    capacity:
+        Upper bound on total pushes over the run (a task is deferred at
+        most once, so the DAG's task count suffices); slabs grow
+        automatically if exceeded.
+    """
+
+    def __init__(self, capacity: int):
+        capacity = max(1, int(capacity))
+        self._tid = np.empty(capacity, dtype=np.int64)
+        self._dist = np.empty(capacity, dtype=np.int64)
+        self._k = np.empty(capacity, dtype=np.int64)
+        self._deferred = np.empty(capacity, dtype=bool)  # i.e. not urgent
+        self._live = np.zeros(capacity, dtype=bool)
+        self._top = 0
+        self._nlive = 0
+
+    def __len__(self) -> int:
+        return self._nlive
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no deferred tasks are stored."""
+        return self._nlive == 0
+
+    def _grow(self, need: int) -> None:
+        cap = max(2 * self._tid.size, self._top + need)
+        for name in ("_tid", "_dist", "_k", "_deferred", "_live"):
+            old = getattr(self, name)
+            new = np.zeros(cap, dtype=old.dtype) if old.dtype == bool \
+                else np.empty(cap, dtype=old.dtype)
+            new[:self._top] = old[:self._top]
+            setattr(self, name, new)
+
+    def push_ids(self, tids: np.ndarray, distance: np.ndarray,
+                 k: np.ndarray, urgent: bool = False) -> None:
+        """Store a block of ready tasks (one Container.push per element)."""
+        m = len(tids)
+        if m == 0:
+            return
+        if self._top + m > self._tid.size:
+            self._grow(m)
+        lo, hi = self._top, self._top + m
+        self._tid[lo:hi] = tids
+        self._dist[lo:hi] = distance
+        self._k[lo:hi] = k
+        self._deferred[lo:hi] = not urgent
+        self._live[lo:hi] = True
+        self._top = hi
+        self._nlive += m
+
+    def ranked_slots(self) -> np.ndarray:
+        """Live slot indices in pop-priority order.
+
+        ``np.lexsort`` is stable, so equal-key entries keep slot
+        (= insertion) order — the heap's ``seq`` tie-break.
+        """
+        slots = np.flatnonzero(self._live[:self._top])
+        # lexsort's primary key is the *last* one: urgent-first, then
+        # distance, then elimination step; the sort is stable, so equal
+        # keys keep ascending-slot (= insertion) order
+        return slots[np.lexsort(
+            (self._k[slots], self._dist[slots], self._deferred[slots])
+        )]
+
+    def tids_of(self, slots: np.ndarray) -> np.ndarray:
+        """Task ids stored in the given slots."""
+        return self._tid[slots]
+
+    def remove(self, slots: np.ndarray) -> None:
+        """Drop the given slots (their tasks were admitted to a batch)."""
+        if len(slots):
+            self._live[slots] = False
+            self._nlive -= len(slots)
 
 
 class Container:

@@ -33,6 +33,65 @@ from repro.kernels.flops import (
 from repro.sparse.blocking import Partition
 
 
+@dataclass(frozen=True)
+class TaskArrays:
+    """Column-oriented task metadata for the vectorized scheduling path.
+
+    One row per task, mirroring the :class:`~repro.core.task.Task`
+    attributes the schedulers touch per round.  Built once per DAG
+    (:meth:`TaskDAG.task_arrays`) so the hot loop never walks Python
+    objects.
+
+    Attributes
+    ----------
+    type_code:
+        ``TaskType`` as int8.
+    k, i, j:
+        Elimination step and tile coordinates.
+    distance:
+        ``|i - j|`` — the Prioritizer's diagonal-distance metric.
+    cuda_blocks, shared_mem:
+        Per-task Executor resource footprint.
+    flops_est, bytes_est, nnz:
+        Structural work estimates.
+    target:
+        Output-tile id ``i * nblocks + j`` for SSSSM tasks, ``-1``
+        otherwise — used for vectorized in-batch write-conflict
+        detection.
+    """
+
+    type_code: np.ndarray
+    k: np.ndarray
+    i: np.ndarray
+    j: np.ndarray
+    distance: np.ndarray
+    cuda_blocks: np.ndarray
+    shared_mem: np.ndarray
+    flops_est: np.ndarray
+    bytes_est: np.ndarray
+    nnz: np.ndarray
+    target: np.ndarray
+
+
+def _gather_csr(indptr: np.ndarray, indices: np.ndarray,
+                tids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Concatenate ``indices[indptr[t]:indptr[t+1]]`` for every ``t``.
+
+    Returns ``(gathered, counts)`` where ``counts[q]`` is the slice
+    length of ``tids[q]`` — the multi-slice gather that replaces the
+    per-task successor loops.
+    """
+    counts = indptr[tids + 1] - indptr[tids]
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=indices.dtype), counts
+    ends = np.cumsum(counts)
+    pos = (np.arange(total, dtype=np.int64)
+           - np.repeat(ends - counts, counts)
+           + np.repeat(indptr[tids], counts))
+    return indices[pos], counts
+
+
 @dataclass
 class TaskDAG:
     """Immutable task graph plus lookup indices.
@@ -54,6 +113,12 @@ class TaskDAG:
     pred_count: np.ndarray
     successors: list[list[int]]
     part: Partition
+    _succ_csr: tuple[np.ndarray, np.ndarray] | None = field(
+        default=None, init=False, repr=False, compare=False)
+    _arrays: TaskArrays | None = field(
+        default=None, init=False, repr=False, compare=False)
+    _cp_cache: np.ndarray | None = field(
+        default=None, init=False, repr=False, compare=False)
 
     @property
     def n_tasks(self) -> int:
@@ -62,7 +127,64 @@ class TaskDAG:
 
     def initial_ready(self) -> list[int]:
         """Task ids with no predecessors."""
-        return [t for t in range(self.n_tasks) if self.pred_count[t] == 0]
+        return np.flatnonzero(self.pred_count == 0).tolist()
+
+    def successor_csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """CSR-style successor index ``(indptr, indices)``, built once.
+
+        ``indices[indptr[t]:indptr[t+1]]`` are the task ids unlocked by
+        completing ``t`` — the flat form the vectorized schedulers use
+        for `np.subtract.at` successor decrements.
+        """
+        if self._succ_csr is None:
+            n = self.n_tasks
+            counts = np.fromiter(
+                (len(s) for s in self.successors), dtype=np.int64, count=n
+            )
+            indptr = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(counts, out=indptr[1:])
+            total = int(indptr[-1])
+            indices = np.empty(total, dtype=np.int64)
+            at = 0
+            for s in self.successors:
+                indices[at:at + len(s)] = s
+                at += len(s)
+            object.__setattr__(self, "_succ_csr", (indptr, indices))
+        return self._succ_csr
+
+    def gather_successors(self, tids: np.ndarray) -> np.ndarray:
+        """All successors of ``tids`` concatenated (duplicates kept)."""
+        indptr, indices = self.successor_csr()
+        out, _ = _gather_csr(indptr, indices, np.asarray(tids, np.int64))
+        return out
+
+    def task_arrays(self) -> TaskArrays:
+        """Column-oriented task metadata, built once per DAG."""
+        if self._arrays is None:
+            n = self.n_tasks
+            nb = self.part.nblocks
+            type_code = np.fromiter((int(t.type) for t in self.tasks),
+                                    dtype=np.int8, count=n)
+            k = np.fromiter((t.k for t in self.tasks), np.int64, count=n)
+            i = np.fromiter((t.i for t in self.tasks), np.int64, count=n)
+            j = np.fromiter((t.j for t in self.tasks), np.int64, count=n)
+            blocks = np.fromiter((t.cuda_blocks for t in self.tasks),
+                                 np.int64, count=n)
+            shmem = np.fromiter((t.shared_mem_bytes for t in self.tasks),
+                                np.int64, count=n)
+            flops = np.fromiter((t.flops_est for t in self.tasks),
+                                np.int64, count=n)
+            nbytes = np.fromiter((t.bytes_est for t in self.tasks),
+                                 np.int64, count=n)
+            nnz = np.fromiter((t.nnz for t in self.tasks), np.int64, count=n)
+            target = np.where(type_code == int(TaskType.SSSSM),
+                              i * nb + j, -1)
+            object.__setattr__(self, "_arrays", TaskArrays(
+                type_code=type_code, k=k, i=i, j=j, distance=np.abs(i - j),
+                cuda_blocks=blocks, shared_mem=shmem, flops_est=flops,
+                bytes_est=nbytes, nnz=nnz, target=target,
+            ))
+        return self._arrays
 
     def counts_by_type(self) -> dict[str, int]:
         """Task counts keyed by kernel-type name."""
@@ -81,73 +203,60 @@ class TaskDAG:
         Runs a full Kahn peel; raises ``AssertionError`` on a cycle.
         Intended for tests, not hot paths.
         """
-        indeg = self.pred_count.copy()
-        stack = [t for t in range(self.n_tasks) if indeg[t] == 0]
-        seen = 0
-        while stack:
-            t = stack.pop()
-            seen += 1
-            for s in self.successors[t]:
-                indeg[s] -= 1
-                if indeg[s] == 0:
-                    stack.append(s)
+        seen = sum(f.size for f in self._peel_levels(check=False))
         if seen != self.n_tasks:
             raise AssertionError(
                 f"task DAG has a cycle or orphan: peeled {seen}/{self.n_tasks}"
             )
+
+    def _peel_levels(self, check: bool = True) -> list[np.ndarray]:
+        indptr, indices = self.successor_csr()
+        indeg = self.pred_count.copy()
+        frontier = np.flatnonzero(indeg == 0)
+        levels = []
+        while frontier.size:
+            levels.append(frontier)
+            succ, _ = _gather_csr(indptr, indices, frontier)
+            np.subtract.at(indeg, succ, 1)
+            frontier = np.unique(succ[indeg[succ] == 0])
+        if check and sum(f.size for f in levels) != self.n_tasks:
+            raise AssertionError("level schedule did not cover the DAG")
+        return levels
 
     def level_schedule(self) -> list[np.ndarray]:
         """Peel the DAG level by level (the Figure-3 static analysis).
 
         Level ``d`` holds every task whose longest chain of predecessors
         has length ``d``; its width is the number of tasks executable in
-        parallel at time step ``d``.
+        parallel at time step ``d``.  Tasks within a level are in
+        ascending id order.
         """
-        indeg = self.pred_count.copy()
-        frontier = np.asarray(
-            [t for t in range(self.n_tasks) if indeg[t] == 0], dtype=np.int64
-        )
-        levels = []
-        while frontier.size:
-            levels.append(frontier)
-            nxt = []
-            for t in frontier:
-                for s in self.successors[t]:
-                    indeg[s] -= 1
-                    if indeg[s] == 0:
-                        nxt.append(s)
-            frontier = np.asarray(nxt, dtype=np.int64)
-        if sum(f.size for f in levels) != self.n_tasks:
-            raise AssertionError("level schedule did not cover the DAG")
-        return levels
+        return self._peel_levels(check=True)
 
     def critical_path_lengths(self) -> np.ndarray:
         """Longest path (in tasks) from each task to any sink, inclusive.
 
         The Prioritizer uses this to decide which ready tasks sit on the
         critical path.  Unit task weights: the metric ranks *dependency
-        depth*, which is what throttles parallelism.
+        depth*, which is what throttles parallelism.  Computed once and
+        cached (the DAG is immutable); treat the returned array as
+        read-only.
         """
-        cp = np.ones(self.n_tasks, dtype=np.int64)
-        # reverse topological order via Kahn on the reversed graph: process
-        # tasks in an order where all successors come first.
-        order = []
-        indeg = self.pred_count.copy()
-        stack = [t for t in range(self.n_tasks) if indeg[t] == 0]
-        while stack:
-            t = stack.pop()
-            order.append(t)
-            for s in self.successors[t]:
-                indeg[s] -= 1
-                if indeg[s] == 0:
-                    stack.append(s)
-        for t in reversed(order):
-            best = 0
-            for s in self.successors[t]:
-                if cp[s] > best:
-                    best = cp[s]
-            cp[t] = 1 + best
-        return cp
+        if self._cp_cache is None:
+            indptr, indices = self.successor_csr()
+            cp = np.ones(self.n_tasks, dtype=np.int64)
+            # every successor of a level-d task sits in a level > d, so a
+            # reverse sweep over the levels sees all successors resolved
+            for level in reversed(self._peel_levels(check=True)):
+                succ, counts = _gather_csr(indptr, indices, level)
+                if not succ.size:
+                    continue
+                owners = np.repeat(np.arange(level.size), counts)
+                best = np.zeros(level.size, dtype=np.int64)
+                np.maximum.at(best, owners, cp[succ])
+                cp[level] = 1 + best
+            object.__setattr__(self, "_cp_cache", cp)
+        return self._cp_cache
 
 
 def _sparse_getrf_est(m: int, nnz: int) -> int:

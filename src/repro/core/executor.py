@@ -42,10 +42,36 @@ class ReplayBackend:
 
     def __init__(self, stats: dict[int, KernelStats]):
         self._stats = stats
+        self._flops_arr: np.ndarray | None = None
+        self._bytes_arr: np.ndarray | None = None
+        self._have: np.ndarray | None = None
 
     def run_task(self, task: Task, atomic: bool) -> KernelStats:
         """Return the recorded stats for this task id."""
         return self._stats[task.tid]
+
+    def batch_stats(self, tids: np.ndarray, atomic: np.ndarray,
+                    arrays) -> tuple[int, int]:
+        """Vectorized batch totals: one gather-sum over the stat arrays.
+
+        Raises ``KeyError`` like :meth:`run_task` if a requested task has
+        no recorded stats.
+        """
+        if self._flops_arr is None or self._flops_arr.size < arrays.nnz.size:
+            n = arrays.nnz.size
+            self._flops_arr = np.zeros(n, dtype=np.int64)
+            self._bytes_arr = np.zeros(n, dtype=np.int64)
+            self._have = np.zeros(n, dtype=bool)
+            for tid, s in self._stats.items():
+                if tid < n:
+                    self._flops_arr[tid] = s.flops
+                    self._bytes_arr[tid] = s.bytes
+                    self._have[tid] = True
+        if not self._have[tids].all():
+            missing = int(tids[~self._have[tids]][0])
+            raise KeyError(missing)
+        return (int(self._flops_arr[tids].sum()),
+                int(self._bytes_arr[tids].sum()))
 
 
 class EstimateBackend:
@@ -60,6 +86,14 @@ class EstimateBackend:
         """Return the task's structural estimate as its stats."""
         extra = task.nnz * 8 if atomic else 0
         return KernelStats(flops=task.flops_est, bytes=task.bytes_est + extra)
+
+    def batch_stats(self, tids: np.ndarray, atomic: np.ndarray,
+                    arrays) -> tuple[int, int]:
+        """Vectorized batch totals over the structural-estimate columns."""
+        flops = int(arrays.flops_est[tids].sum())
+        nbytes = int(arrays.bytes_est[tids].sum()
+                     + 8 * arrays.nnz[tids[atomic]].sum())
+        return flops, nbytes
 
 
 @dataclass(frozen=True)
@@ -77,12 +111,17 @@ class BlockTaskMapping:
     @classmethod
     def build(cls, tasks: list[Task]) -> "BlockTaskMapping":
         """Lay the batch's tasks out over consecutive CUDA blocks."""
-        starts = np.zeros(len(tasks), dtype=np.int64)
-        acc = 0
-        for idx, task in enumerate(tasks):
-            starts[idx] = acc
-            acc += task.cuda_blocks
-        return cls(starts=starts, total_blocks=acc)
+        blocks = np.fromiter((t.cuda_blocks for t in tasks),
+                             dtype=np.int64, count=len(tasks))
+        return cls.from_blocks(blocks)
+
+    @classmethod
+    def from_blocks(cls, blocks: np.ndarray) -> "BlockTaskMapping":
+        """Build the mapping from a per-task CUDA-block array (exclusive
+        prefix sum — the vectorized layout)."""
+        starts = np.zeros(len(blocks), dtype=np.int64)
+        np.cumsum(blocks[:-1], out=starts[1:])
+        return cls(starts=starts, total_blocks=int(blocks.sum()))
 
     def task_of_block(self, block_id: int) -> int:
         """Which task (index within the batch) does CUDA block ``block_id``
@@ -159,4 +198,61 @@ class Executor:
             flops=launch.flops,
             bytes=launch.bytes,
             types=types,
+        )
+
+    def run_batch_ids(self, tids: np.ndarray, t_start: float,
+                      arena) -> BatchRecord:
+        """Vectorized :meth:`run_batch` over task *ids* and a
+        :class:`~repro.core.arena.ScheduleArena`.
+
+        Write-conflict detection, resource totals and the block→task
+        layout all come from array operations; backends exposing
+        ``batch_stats`` (replay/estimate) avoid the per-task call
+        entirely, while numeric backends still execute each task's
+        arithmetic with the identical atomic flags.
+        """
+        if not len(tids):
+            raise ValueError("cannot launch an empty batch")
+        tids = np.asarray(tids, dtype=np.int64)
+        arrays = arena.arrays
+        # in-batch write conflicts among Schur updates on one target tile
+        target = arrays.target[tids]
+        ssssm = target >= 0
+        atomic = np.zeros(tids.size, dtype=bool)
+        if ssssm.any():
+            _, inverse, counts = np.unique(
+                target[ssssm], return_inverse=True, return_counts=True
+            )
+            atomic[ssssm] = counts[inverse] > 1
+        if hasattr(self._backend, "batch_stats"):
+            flops, nbytes = self._backend.batch_stats(tids, atomic, arrays)
+        else:
+            flops = 0
+            nbytes = 0
+            tasks = arena.dag.tasks
+            for idx in range(tids.size):
+                stats = self._backend.run_task(
+                    tasks[int(tids[idx])], bool(atomic[idx])
+                )
+                flops += stats.flops
+                nbytes += stats.bytes
+        launch = KernelLaunch(
+            cuda_blocks=int(arrays.cuda_blocks[tids].sum()),
+            flops=int(flops),
+            bytes=int(nbytes),
+            shared_mem_bytes=int(arrays.shared_mem[tids].sum()),
+            n_tasks=int(tids.size),
+        )
+        type_counts = np.bincount(arrays.type_code[tids],
+                                  minlength=len(TaskType))
+        t_end = t_start + self._model.launch_time(launch)
+        return BatchRecord(
+            t_start=t_start,
+            t_end=t_end,
+            task_ids=[int(t) for t in tids],
+            n_tasks=int(tids.size),
+            cuda_blocks=launch.cuda_blocks,
+            flops=launch.flops,
+            bytes=launch.bytes,
+            types={t.name: int(type_counts[int(t)]) for t in TaskType},
         )

@@ -98,3 +98,33 @@ class Prioritizer:
         out = [entry[2] for entry in self._heap]
         self._heap.clear()
         return out
+
+    # ------------------------------------------------------------------
+    # vectorized classification (the ScheduleArena hot path)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def rank_ready(cp: np.ndarray, distance: np.ndarray,
+                   tids: np.ndarray) -> np.ndarray:
+        """Ready task ids in heap pop order, in one lexsort.
+
+        Sorts by ``(-cp, distance, tid)`` — exactly the key
+        :meth:`pop_most_urgent` drains the heap in, so the vectorized
+        scheduler classifies an identical sequence.
+        """
+        order = np.lexsort((tids, distance[tids], -cp[tids]))
+        return tids[order]
+
+    @staticmethod
+    def urgent_prefix(cp_ranked: np.ndarray, critical_slack: int) -> int:
+        """Length of the urgent prefix of a ranked ready list.
+
+        ``cp_ranked`` is descending (the primary ranking key), so the
+        round's critical set — tasks within ``critical_slack`` of the
+        longest ready chain (:meth:`is_critical` against the
+        :meth:`begin_round` snapshot) — is a prefix, and the
+        urgent/deferrable split is a single boolean-mask partition.
+        """
+        if cp_ranked.size == 0:
+            return 0
+        threshold = int(cp_ranked[0]) - int(critical_slack)
+        return int(np.searchsorted(-cp_ranked, -threshold, side="right"))

@@ -1,0 +1,120 @@
+"""The original per-task Algorithm-1 loop, kept as a semantic oracle.
+
+:class:`~repro.core.scheduler.TrojanHorseScheduler` now runs a
+vectorized arena loop; this module preserves the pre-rewrite
+implementation — heap pops through the :class:`Prioritizer`, per-task
+``try_push`` into the :class:`Collector`, per-successor decrements —
+bit-for-bit.  It exists for three reasons:
+
+* the golden tests pin the vectorized loop's batch decomposition
+  against this one on the seed matrices;
+* the differential suite factorises through both and checks the factors
+  agree;
+* ``benchmarks/test_sched_overhead.py`` measures the per-task
+  scheduling wall-time the rewrite removed.
+
+Do not optimise this file: being slow and obviously-sequential is its
+job.
+"""
+
+from __future__ import annotations
+
+from repro.core.collector import Collector
+from repro.core.container import Container
+from repro.core.dag import TaskDAG
+from repro.core.executor import BatchRecord, ExecutionBackend, Executor
+from repro.core.prioritizer import Prioritizer
+from repro.core.scheduler import (
+    PER_BATCH_SCHED_US,
+    PER_TASK_SCHED_US,
+    ScheduleResult,
+    empty_schedule_result,
+)
+from repro.gpusim.costmodel import GPUCostModel
+
+
+class ReferenceTrojanScheduler:
+    """Single-process Algorithm-1 driver, original per-task hot loop.
+
+    Same constructor and semantics as
+    :class:`~repro.core.scheduler.TrojanHorseScheduler`; kept as the
+    oracle the vectorized loop is verified against.
+    """
+
+    name = "trojan"
+
+    def __init__(self, dag: TaskDAG, backend: ExecutionBackend,
+                 model: GPUCostModel, critical_slack: int = 0,
+                 max_batch_tasks: int | None = None):
+        self._dag = dag
+        self._backend = backend
+        self._model = model
+        self._slack = critical_slack
+        self._max_batch = max_batch_tasks
+
+    def run(self) -> ScheduleResult:
+        """Execute the whole DAG; returns the schedule record."""
+        dag = self._dag
+        if dag.n_tasks == 0:
+            return empty_schedule_result(self.name, self._model.gpu.name, dag)
+        pred = dag.pred_count.copy()
+        prio = Prioritizer(dag, dag.critical_path_lengths(),
+                           critical_slack=self._slack)
+        cont = Container()
+        coll = Collector(self._model.gpu, max_tasks=self._max_batch)
+        execu = Executor(self._model, self._backend)
+        prio.push_many(dag.initial_ready())
+
+        batches: list[BatchRecord] = []
+        t = 0.0
+        remaining = dag.n_tasks
+        while remaining > 0:
+            coll.reset()
+            # ---- Aggregate stage: classify every ready task -------------
+            prio.begin_round()
+            while prio.has_ready:
+                tid = prio.pop_most_urgent()
+                task = dag.tasks[tid]
+                if prio.is_critical(tid):
+                    if not coll.try_push(task):
+                        # Collector full before all urgent tasks fit:
+                        # defer the rest, keeping the urgent flag (§3.4)
+                        cont.push(task, urgent=True)
+                        for other in prio.drain():
+                            cont.push(dag.tasks[other])
+                        break
+                else:
+                    cont.push(task)
+            # ---- Batch stage: top up from the Container ------------------
+            while not coll.is_full and not cont.is_empty:
+                task = dag.tasks[cont.peek()]
+                if coll.try_push(task):
+                    cont.pop()
+                else:
+                    break
+            if coll.is_empty:
+                raise AssertionError(
+                    "scheduler stalled with work remaining — DAG bug"
+                )
+            record = execu.run_batch(coll.tasks, t)
+            t = record.t_end
+            batches.append(record)
+            remaining -= len(coll.tasks)
+            for task in coll.tasks:
+                for s in dag.successors[task.tid]:
+                    pred[s] -= 1
+                    if pred[s] == 0:
+                        prio.push_ready(s)
+        sched = (PER_TASK_SCHED_US * dag.n_tasks
+                 + PER_BATCH_SCHED_US * len(batches)) * 1e-6
+        return ScheduleResult(
+            scheduler=self.name,
+            device=self._model.gpu.name,
+            batches=batches,
+            kernel_count=len(batches),
+            task_count=dag.n_tasks,
+            kernel_time=t,
+            sched_overhead=sched,
+            total_flops=sum(b.flops for b in batches),
+            counts_by_type=dag.counts_by_type(),
+        )

@@ -5,6 +5,14 @@ classifies ready tasks, critical ones go straight to the Collector,
 deferrable ones to the Container; the Collector tops itself up from the
 Container until a hardware budget trips; the Executor launches the batch
 and its completions unlock new ready tasks.
+
+The hot loop is vectorized over a :class:`~repro.core.arena.ScheduleArena`:
+ready tasks are ranked with one lexsort, the urgent/deferrable split is a
+boolean-mask partition (the ranking is descending in chain length, so the
+round's critical set is a prefix), Collector admission is a cumulative-sum
+prefix, and batch completion decrements all successor counters with a
+single ``np.subtract.at``.  The per-task reference implementation the
+rewrite is verified against lives in :mod:`repro.core.reference`.
 """
 
 from __future__ import annotations
@@ -13,8 +21,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.collector import Collector
-from repro.core.container import Container
+from repro.core.arena import ScheduleArena
+from repro.core.collector import admissible_prefix
+from repro.core.container import ArrayContainer
 from repro.core.dag import TaskDAG
 from repro.core.executor import BatchRecord, ExecutionBackend, Executor
 from repro.core.prioritizer import Prioritizer
@@ -83,6 +92,28 @@ class ScheduleResult:
         }
 
 
+def empty_schedule_result(name: str, device: str,
+                          dag: TaskDAG) -> ScheduleResult:
+    """A well-defined no-op schedule for an empty DAG.
+
+    Scheduling zero tasks is zero batches in zero time — every scheduler
+    returns this instead of tripping its stall assertion, and
+    ``gflops``/``mean_batch_size`` degrade to 0.0 rather than dividing
+    by zero.
+    """
+    return ScheduleResult(
+        scheduler=name,
+        device=device,
+        batches=[],
+        kernel_count=0,
+        task_count=0,
+        kernel_time=0.0,
+        sched_overhead=0.0,
+        total_flops=0,
+        counts_by_type=dag.counts_by_type(),
+    )
+
+
 class TrojanHorseScheduler:
     """Single-process Algorithm-1 driver.
 
@@ -112,61 +143,90 @@ class TrojanHorseScheduler:
         self._max_batch = max_batch_tasks
 
     def run(self) -> ScheduleResult:
-        """Execute the whole DAG; returns the schedule record."""
-        dag = self._dag
-        pred = dag.pred_count.copy()
-        prio = Prioritizer(dag, dag.critical_path_lengths(),
-                           critical_slack=self._slack)
-        cont = Container()
-        coll = Collector(self._model.gpu, max_tasks=self._max_batch)
-        execu = Executor(self._model, self._backend)
-        prio.push_many(dag.initial_ready())
+        """Execute the whole DAG; returns the schedule record.
 
+        Each round performs the two Algorithm-1 stages on arrays:
+
+        * **Aggregate** — the newly ready tasks are ranked with one
+          lexsort (heap pop order); the urgent set is the prefix within
+          ``critical_slack`` of the longest ready chain.  Urgent tasks
+          enter the Collector up to the cumulative-sum budget prefix;
+          everything else lands in the :class:`ArrayContainer` in one
+          block append (an urgent task bounced off a full Collector
+          keeps its flag, §3.4).
+        * **Batch** — the Collector tops itself up from the Container's
+          ranked live slots, again as a budget prefix, and the batch
+          launches through the Executor's vectorized path.  Completions
+          decrement every successor counter with one ``np.subtract.at``.
+        """
+        dag = self._dag
+        model = self._model
+        if dag.n_tasks == 0:
+            return empty_schedule_result(self.name, model.gpu.name, dag)
+        arena = ScheduleArena(dag)
+        arrays = arena.arrays
+        cp = arena.cp
+        max_blocks = model.gpu.max_resident_blocks
+        max_shmem = model.gpu.shared_mem_total_bytes
+        cont = ArrayContainer(dag.n_tasks)
+        execu = Executor(model, self._backend)
+
+        ready = arena.initial_ready()
         batches: list[BatchRecord] = []
         t = 0.0
         remaining = dag.n_tasks
         while remaining > 0:
-            coll.reset()
             # ---- Aggregate stage: classify every ready task -------------
-            prio.begin_round()
-            while prio.has_ready:
-                tid = prio.pop_most_urgent()
-                task = dag.tasks[tid]
-                if prio.is_critical(tid):
-                    if not coll.try_push(task):
-                        # Collector full before all urgent tasks fit:
-                        # defer the rest, keeping the urgent flag (§3.4)
-                        cont.push(task, urgent=True)
-                        for other in prio.drain():
-                            cont.push(dag.tasks[other])
-                        break
+            if ready.size:
+                ranked = Prioritizer.rank_ready(cp, arrays.distance, ready)
+                n_urgent = Prioritizer.urgent_prefix(cp[ranked], self._slack)
+                urgent = ranked[:n_urgent]
+                admitted = admissible_prefix(
+                    arrays.cuda_blocks[urgent], arrays.shared_mem[urgent],
+                    max_blocks, max_shmem, max_tasks=self._max_batch,
+                )
+                batch = urgent[:admitted]
+                if admitted < n_urgent:
+                    # Collector full before all urgent tasks fit: defer
+                    # the rest, keeping the bounced task's flag (§3.4)
+                    bounced = ranked[admitted:admitted + 1]
+                    cont.push_ids(bounced, arrays.distance[bounced],
+                                  arrays.k[bounced], urgent=True)
+                    rest = ranked[admitted + 1:]
                 else:
-                    cont.push(task)
+                    rest = ranked[n_urgent:]
+                cont.push_ids(rest, arrays.distance[rest], arrays.k[rest])
+            else:
+                batch = np.empty(0, dtype=np.int64)
             # ---- Batch stage: top up from the Container ------------------
-            while not coll.is_full and not cont.is_empty:
-                task = dag.tasks[cont.peek()]
-                if coll.try_push(task):
-                    cont.pop()
-                else:
-                    break
-            if coll.is_empty:
+            if not cont.is_empty:
+                slots = cont.ranked_slots()
+                tids = cont.tids_of(slots)
+                topped = admissible_prefix(
+                    arrays.cuda_blocks[tids], arrays.shared_mem[tids],
+                    max_blocks, max_shmem,
+                    base_blocks=int(arrays.cuda_blocks[batch].sum()),
+                    base_shmem=int(arrays.shared_mem[batch].sum()),
+                    base_count=int(batch.size),
+                    max_tasks=self._max_batch, stop_when_full=True,
+                )
+                if topped:
+                    cont.remove(slots[:topped])
+                    batch = np.concatenate([batch, tids[:topped]])
+            if batch.size == 0:
                 raise AssertionError(
                     "scheduler stalled with work remaining — DAG bug"
                 )
-            record = execu.run_batch(coll.tasks, t)
+            record = execu.run_batch_ids(batch, t, arena)
             t = record.t_end
             batches.append(record)
-            remaining -= len(coll.tasks)
-            for task in coll.tasks:
-                for s in dag.successors[task.tid]:
-                    pred[s] -= 1
-                    if pred[s] == 0:
-                        prio.push_ready(s)
+            remaining -= batch.size
+            ready = arena.complete(batch)
         sched = (PER_TASK_SCHED_US * dag.n_tasks
                  + PER_BATCH_SCHED_US * len(batches)) * 1e-6
         return ScheduleResult(
             scheduler=self.name,
-            device=self._model.gpu.name,
+            device=model.gpu.name,
             batches=batches,
             kernel_count=len(batches),
             task_count=dag.n_tasks,

@@ -6,6 +6,7 @@ import time
 
 import numpy as np
 
+from repro.core.analysis_cache import DEFAULT_ANALYSIS_CACHE, AnalysisCache
 from repro.core.baselines import make_scheduler
 from repro.gpusim.costmodel import GPUCostModel
 from repro.gpusim.specs import GPUSpec, RTX5090
@@ -37,6 +38,12 @@ class BlockSolverBase:
     scheduler:
         Scheduling policy: the substrate's baseline, ``"trojan"`` for the
         paper's strategy, ``"streams"``/``"levelbatch"`` for ablations.
+    analysis_cache:
+        Pattern-keyed memo for the symbolic analysis.  ``"default"``
+        (the default) shares the process-wide
+        :data:`~repro.core.analysis_cache.DEFAULT_ANALYSIS_CACHE`;
+        pass an :class:`~repro.core.analysis_cache.AnalysisCache` for an
+        isolated cache, or ``None`` to disable caching entirely.
     """
 
     solver_name = "block-lu"
@@ -45,11 +52,15 @@ class BlockSolverBase:
 
     def __init__(self, a: CSRMatrix, ordering: str = "mindeg",
                  gpu: GPUSpec = RTX5090, scheduler: str | None = None,
+                 analysis_cache: "AnalysisCache | str | None" = "default",
                  **sched_kwargs):
         self.a = a
         self.ordering = ordering
         self.gpu = gpu
         self.scheduler = scheduler or self.default_scheduler
+        self.analysis_cache = (DEFAULT_ANALYSIS_CACHE
+                               if analysis_cache == "default"
+                               else analysis_cache)
         self.sched_kwargs = sched_kwargs
         self.result: FactorizationResult | None = None
 
@@ -62,6 +73,21 @@ class BlockSolverBase:
         recomputed.
         """
         raise NotImplementedError
+
+    def _cached_fill(self, permuted: CSRMatrix):
+        """Element-level fill of the permuted matrix, via the cache.
+
+        Substrates whose partition derives from the fill (the supernodal
+        one) call this before the engine exists, so repeated patterns
+        skip even the pre-partition analysis.
+        """
+        from repro.symbolic import symbolic_fill
+
+        if self.analysis_cache is None:
+            return symbolic_fill(permuted)
+        return self.analysis_cache.fill_for(
+            permuted, lambda: symbolic_fill(permuted)
+        )
 
     def _make_scheduler(self, dag, backend, model):
         """Instantiate the scheduling policy (hook for substrates with
@@ -89,7 +115,7 @@ class BlockSolverBase:
         t1 = time.perf_counter()
         part, fill = self._build_partition(permuted)
         engine = NumericEngine(permuted, part, sparse_tiles=self.sparse_tiles,
-                               fill=fill)
+                               fill=fill, cache=self.analysis_cache)
         self._engine = engine
         self._perm = perm
         t2 = time.perf_counter()

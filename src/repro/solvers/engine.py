@@ -48,10 +48,18 @@ class NumericEngine:
         Sparse kernel accounting (PanguLU) vs dense (SuperLU).
     owner_of:
         Optional tile-ownership function for distributed runs.
+    cache:
+        Optional :class:`~repro.core.analysis_cache.AnalysisCache`.
+        When given (and the run is single-process), the element fill,
+        block fill, tile-nnz split and task DAG are looked up by the
+        sparsity-pattern digest — repeated-pattern factorisations skip
+        the whole symbolic analysis.  Distributed runs (``owner_of``)
+        bypass the cache because tile ownership is baked into the DAG.
     """
 
     def __init__(self, a: CSRMatrix, part: Partition,
-                 sparse_tiles: bool = False, owner_of=None, fill=None):
+                 sparse_tiles: bool = False, owner_of=None, fill=None,
+                 cache=None):
         if a.nrows != a.ncols:
             raise ValueError("LU factorisation requires a square matrix")
         if part.n != a.nrows:
@@ -59,14 +67,30 @@ class NumericEngine:
         self.a = a
         self.part = part
         self.sparse_tiles = sparse_tiles
-        self.fill = fill if fill is not None else symbolic_fill(a)
-        self.bfill = block_fill(a, part)
-        fill_tiles = split_tiles(self.fill.filled, part)
-        self.tile_nnz = {key: t.nnz for key, t in fill_tiles.items()}
-        self.dag = build_block_dag(
-            self.bfill, part, self.tile_nnz,
-            sparse_tiles=sparse_tiles, owner_of=owner_of,
-        )
+        use_cache = cache if owner_of is None else None
+        if fill is not None:
+            self.fill = fill
+        elif use_cache is not None:
+            self.fill = use_cache.fill_for(a, lambda: symbolic_fill(a))
+        else:
+            self.fill = symbolic_fill(a)
+
+        def _block_analysis():
+            bfill = block_fill(a, part)
+            fill_tiles = split_tiles(self.fill.filled, part)
+            tile_nnz = {key: t.nnz for key, t in fill_tiles.items()}
+            dag = build_block_dag(
+                bfill, part, tile_nnz,
+                sparse_tiles=sparse_tiles, owner_of=owner_of,
+            )
+            return bfill, tile_nnz, dag
+
+        if use_cache is not None:
+            self.bfill, self.tile_nnz, self.dag = use_cache.block_analysis_for(
+                a, part, sparse_tiles, _block_analysis
+            )
+        else:
+            self.bfill, self.tile_nnz, self.dag = _block_analysis()
         self.tiles: dict[tuple[int, int], np.ndarray] = {}
         self._init_tiles()
 

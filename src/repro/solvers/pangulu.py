@@ -37,4 +37,7 @@ class PanguLUSolver(BlockSolverBase):
         self.block_size = block_size
 
     def _build_partition(self, permuted: CSRMatrix):
+        # The partition is pattern-independent, so no fill is computed
+        # here; the engine memoizes the whole block analysis (fill, tile
+        # nnz, task DAG) through the solver's ``analysis_cache``.
         return uniform_partition(permuted.nrows, self.block_size), None

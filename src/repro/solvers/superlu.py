@@ -16,7 +16,7 @@ from __future__ import annotations
 from repro.core.fusion import FusedBackend, merge_schur_tasks
 from repro.solvers.base import BlockSolverBase
 from repro.sparse import CSRMatrix
-from repro.symbolic import find_supernodes, symbolic_fill
+from repro.symbolic import find_supernodes
 
 
 class SuperLUSolver(BlockSolverBase):
@@ -50,7 +50,7 @@ class SuperLUSolver(BlockSolverBase):
         self.merge_schur = merge_schur
 
     def _build_partition(self, permuted: CSRMatrix):
-        fill = symbolic_fill(permuted)
+        fill = self._cached_fill(permuted)
         part = find_supernodes(fill, max_size=self.max_supernode,
                                relax=self.relax)
         return part, fill

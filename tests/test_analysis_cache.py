@@ -1,0 +1,180 @@
+"""Tests for the pattern-keyed symbolic-analysis cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.analysis_cache import (
+    AnalysisCache,
+    pattern_digest,
+    partition_digest,
+)
+from repro.matrices.generators import circuit_like, poisson2d
+from repro.solvers import PanguLUSolver, SuperLUSolver
+from repro.solvers.engine import NumericEngine
+from repro.sparse import CSRMatrix, uniform_partition
+
+
+# ----------------------------------------------------------------------
+# LRU mechanics
+# ----------------------------------------------------------------------
+def test_hit_miss_accounting():
+    cache = AnalysisCache(capacity=4)
+    calls = []
+
+    def factory(v):
+        return lambda: calls.append(v) or v
+
+    assert cache.get_or_compute("a", factory(1)) == 1
+    assert cache.get_or_compute("a", factory(99)) == 1  # hit: factory unused
+    assert cache.get_or_compute("b", factory(2)) == 2
+    assert calls == [1, 2]
+    assert cache.hits == 1
+    assert cache.misses == 2
+    assert cache.hit_rate == pytest.approx(1 / 3)
+    stats = cache.stats()
+    assert stats["entries"] == 2
+    assert stats["evictions"] == 0
+
+
+def test_eviction_at_capacity_is_lru():
+    cache = AnalysisCache(capacity=2)
+    cache.get_or_compute("a", lambda: 1)
+    cache.get_or_compute("b", lambda: 2)
+    cache.get_or_compute("a", lambda: 0)     # touch "a": "b" becomes LRU
+    cache.get_or_compute("c", lambda: 3)     # evicts "b"
+    assert cache.evictions == 1
+    assert len(cache) == 2
+    assert "a" in cache and "c" in cache
+    assert "b" not in cache
+    # recomputing "b" is a miss again
+    assert cache.get_or_compute("b", lambda: 20) == 20
+
+
+def test_clear_resets_everything():
+    cache = AnalysisCache(capacity=2)
+    cache.get_or_compute("a", lambda: 1)
+    cache.get_or_compute("a", lambda: 1)
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.hits == cache.misses == cache.evictions == 0
+    assert cache.hit_rate == 0.0
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        AnalysisCache(capacity=0)
+
+
+# ----------------------------------------------------------------------
+# digest collision guards
+# ----------------------------------------------------------------------
+def test_equal_shape_different_pattern_never_collides():
+    # same shape, same nnz, different column indices
+    a = CSRMatrix((3, 3), [0, 2, 3, 4], [0, 1, 1, 2], np.ones(4))
+    b = CSRMatrix((3, 3), [0, 2, 3, 4], [0, 2, 1, 2], np.ones(4))
+    # same shape, same indices array, different row split
+    c = CSRMatrix((3, 3), [0, 1, 3, 4], [0, 1, 1, 2], np.ones(4))
+    digests = {pattern_digest(m) for m in (a, b, c)}
+    assert len(digests) == 3
+
+
+def test_values_do_not_affect_the_digest():
+    a = CSRMatrix((3, 3), [0, 2, 3, 4], [0, 1, 1, 2], np.ones(4))
+    b = CSRMatrix((3, 3), [0, 2, 3, 4], [0, 1, 1, 2], np.arange(4) + 5.0)
+    assert pattern_digest(a) == pattern_digest(b)
+
+
+def test_partition_digest_distinguishes_boundaries():
+    assert (partition_digest(uniform_partition(64, 8))
+            != partition_digest(uniform_partition(64, 16)))
+    assert (partition_digest(uniform_partition(64, 8))
+            == partition_digest(uniform_partition(64, 8)))
+
+
+def test_different_patterns_fill_separately():
+    cache = AnalysisCache(capacity=8)
+    a = poisson2d(8)
+    b = circuit_like(64, seed=1)
+    calls = {"n": 0}
+
+    def fill_of(m):
+        def compute():
+            calls["n"] += 1
+            return ("fill", m.nnz, calls["n"])
+        return cache.fill_for(m, compute)
+
+    fa = fill_of(a)
+    fb = fill_of(b)
+    assert fa != fb
+    assert calls["n"] == 2
+    assert cache.misses == 2 and cache.hits == 0
+
+
+# ----------------------------------------------------------------------
+# solver wiring
+# ----------------------------------------------------------------------
+def test_pangulu_repeated_pattern_hits_cache():
+    cache = AnalysisCache(capacity=8)
+    a = circuit_like(120, seed=3)
+    PanguLUSolver(a, block_size=16, analysis_cache=cache).factorize()
+    first = cache.stats()
+    assert first["hits"] == 0 and first["misses"] >= 1
+
+    # same pattern again: the whole block analysis is served from cache
+    PanguLUSolver(circuit_like(120, seed=3), block_size=16,
+                  analysis_cache=cache).factorize()
+    second = cache.stats()
+    assert second["hits"] == first["misses"]
+    assert second["misses"] == first["misses"]
+
+
+def test_superlu_caches_fill_and_block_analysis():
+    cache = AnalysisCache(capacity=8)
+    a = poisson2d(10)
+    SuperLUSolver(a, analysis_cache=cache).factorize()
+    assert cache.misses >= 2  # element fill + block analysis
+    SuperLUSolver(poisson2d(10), analysis_cache=cache).factorize()
+    assert cache.hits == cache.misses  # everything reused
+
+
+def test_cached_factorization_matches_uncached():
+    a = circuit_like(120, seed=3)
+    cached = PanguLUSolver(a, block_size=16,
+                           analysis_cache=AnalysisCache(capacity=4))
+    plain = PanguLUSolver(circuit_like(120, seed=3), block_size=16,
+                          analysis_cache=None)
+    # warm the cache, then factorize a second same-pattern solver from it
+    shared = cached.analysis_cache
+    cached.factorize()
+    warm = PanguLUSolver(circuit_like(120, seed=3), block_size=16,
+                         analysis_cache=shared)
+    r_warm = warm.factorize()
+    r_plain = plain.factorize()
+    assert np.array_equal(r_warm.L.indptr, r_plain.L.indptr)
+    assert np.array_equal(r_warm.L.indices, r_plain.L.indices)
+    np.testing.assert_allclose(r_warm.L.data, r_plain.L.data,
+                               rtol=1e-12, atol=0)
+    np.testing.assert_allclose(r_warm.U.data, r_plain.U.data,
+                               rtol=1e-12, atol=0)
+    b = np.ones(120)
+    res = np.linalg.norm(a @ r_warm.solve(b) - b) / np.linalg.norm(b)
+    assert res < 1e-8
+
+
+def test_distributed_engine_bypasses_cache():
+    # ownership is baked into the tasks, so distributed analyses must
+    # not be shared through the pattern-keyed cache
+    cache = AnalysisCache(capacity=8)
+    a = poisson2d(8)
+    part = uniform_partition(a.nrows, 8)
+    NumericEngine(a, part, owner_of=lambda i, j: 0, cache=cache)
+    assert cache.hits == 0 and cache.misses == 0 and len(cache) == 0
+
+
+def test_solver_cache_disabled_with_none():
+    a = poisson2d(8)
+    solver = PanguLUSolver(a, block_size=8, analysis_cache=None)
+    assert solver.analysis_cache is None
+    solver.factorize()  # must work without any cache

@@ -1,0 +1,88 @@
+"""Differential testing across every scheduling policy.
+
+The scheduler decides *when* tasks run, never *what* they compute — so
+every policy must produce the same L/U factors up to floating-point
+reassociation (batched SSSSM updates to one tile accumulate in
+batch-dependent order) and the same solve residuals.  Factoring each
+matrix with all of :data:`repro.core.SCHEDULER_NAMES` and comparing
+against the serial baseline catches any rewrite that reorders,
+duplicates or drops work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SCHEDULER_NAMES
+from repro.core.staticanalysis import validate_schedule
+from repro.matrices.generators import circuit_like, poisson2d
+from repro.solvers import PanguLUSolver, SuperLUSolver
+
+#: Reassociation tolerance: different batch decompositions reassociate
+#: SSSSM accumulations, nothing else.
+RTOL = 1e-9
+ATOL = 1e-12
+
+
+def _factor_all(make_solver):
+    runs = {}
+    for name in SCHEDULER_NAMES:
+        runs[name] = make_solver(name).factorize()
+    return runs
+
+
+def _assert_same_factors(ref, other, label):
+    for which in ("L", "U"):
+        fa = getattr(ref, which)
+        fb = getattr(other, which)
+        assert fa.shape == fb.shape, f"{label}: {which} shape differs"
+        assert np.array_equal(fa.indptr, fb.indptr), \
+            f"{label}: {which} structure (indptr) differs"
+        assert np.array_equal(fa.indices, fb.indices), \
+            f"{label}: {which} structure (indices) differs"
+        np.testing.assert_allclose(
+            fa.data, fb.data, rtol=RTOL, atol=ATOL,
+            err_msg=f"{label}: {which} values diverge beyond reassociation",
+        )
+
+
+@pytest.mark.parametrize("solver_cls,matrix,kwargs", [
+    (PanguLUSolver, "circuit", {"block_size": 16}),
+    (PanguLUSolver, "poisson", {"block_size": 8}),
+    (SuperLUSolver, "circuit", {"max_supernode": 16, "merge_schur": False}),
+    (SuperLUSolver, "poisson", {}),
+], ids=["pangulu-circuit", "pangulu-poisson",
+        "superlu-circuit-unfused", "superlu-poisson"])
+def test_all_schedulers_agree(solver_cls, matrix, kwargs):
+    a = (circuit_like(180, seed=2) if matrix == "circuit"
+         else poisson2d(14))
+    runs = _factor_all(
+        lambda name: solver_cls(a, scheduler=name, **kwargs)
+    )
+    ref = runs["serial"]
+    b = np.ones(a.nrows)
+
+    for name, run in runs.items():
+        # SuperLU's trojan path may rewrite the DAG (§3.5.1 Schur
+        # fusion), so batch ids only map onto run.dag when unfused.
+        fused = (solver_cls is SuperLUSolver and name == "trojan"
+                 and kwargs.get("merge_schur", True))
+        if not fused:
+            validate_schedule(run.dag, run.schedule.batches)
+            assert run.schedule.task_count == run.dag.n_tasks
+
+        label = f"{solver_cls.solver_name}/{matrix}/{name}"
+        _assert_same_factors(ref, run, label)
+
+        x = run.solve(b)
+        res = np.linalg.norm(a @ x - b) / np.linalg.norm(b)
+        assert res < 1e-8, f"{label}: residual {res:.3e}"
+
+    # residuals themselves agree to reassociation tolerance
+    x_ref = ref.solve(b)
+    for name, run in runs.items():
+        np.testing.assert_allclose(
+            run.solve(b), x_ref, rtol=1e-8, atol=1e-12,
+            err_msg=f"{name}: solution vector diverges from serial",
+        )

@@ -1,0 +1,87 @@
+"""Golden-batch regression for the vectorized Algorithm-1 loop.
+
+The goldens in ``tests/golden/trojan_batches.json`` were captured from the
+original per-task scheduler implementation *before* the ScheduleArena
+rewrite.  These tests pin the rewrite to them bit-for-bit (batch
+decomposition, kernel count, simulated kernel time and total flops), and
+additionally run the live per-task reference implementation
+(:class:`repro.core.ReferenceTrojanScheduler`) side by side with the
+production scheduler on every golden configuration.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+from repro.core import ReferenceTrojanScheduler
+from repro.core.executor import EstimateBackend
+from repro.gpusim import GPUCostModel
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+
+def _load_generate_module():
+    spec = importlib.util.spec_from_file_location(
+        "golden_generate", GOLDEN_DIR / "generate.py"
+    )
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+_GEN = _load_generate_module()
+_CONFIGS = {name: (dag, gpu, kwargs)
+            for name, dag, gpu, kwargs in _GEN.golden_configs()}
+_GOLDEN = json.loads(
+    (GOLDEN_DIR / "trojan_batches.json").read_text(encoding="utf-8")
+)
+
+
+@pytest.mark.parametrize("name", sorted(_CONFIGS))
+def test_matches_checked_in_golden(name):
+    """The production scheduler reproduces the pre-rewrite goldens."""
+    dag, gpu, kwargs = _CONFIGS[name]
+    got = _GEN.schedule_record(dag, gpu, **kwargs)
+    want = _GOLDEN[name]
+    assert got["n_tasks"] == want["n_tasks"]
+    assert got["kernel_count"] == want["kernel_count"]
+    assert got["total_flops"] == want["total_flops"]
+    assert got["batches"] == want["batches"]
+    assert got["kernel_time"] == pytest.approx(want["kernel_time"],
+                                               rel=1e-12)
+
+
+@pytest.mark.parametrize("name", sorted(_CONFIGS))
+def test_matches_live_reference(name):
+    """Vectorized loop == per-task reference loop, batch for batch."""
+    dag, gpu, kwargs = _CONFIGS[name]
+    from repro.core import TrojanHorseScheduler
+
+    vec = TrojanHorseScheduler(
+        dag, EstimateBackend(), GPUCostModel(gpu), **kwargs
+    ).run()
+    ref = ReferenceTrojanScheduler(
+        dag, EstimateBackend(), GPUCostModel(gpu), **kwargs
+    ).run()
+    assert vec.kernel_count == ref.kernel_count
+    assert vec.task_count == ref.task_count
+    assert vec.total_flops == ref.total_flops
+    for bv, br in zip(vec.batches, ref.batches):
+        assert sorted(bv.task_ids) == sorted(br.task_ids)
+        assert bv.t_start == pytest.approx(br.t_start, rel=1e-12)
+        assert bv.t_end == pytest.approx(br.t_end, rel=1e-12)
+        assert bv.flops == br.flops
+        assert bv.bytes == br.bytes
+        assert bv.cuda_blocks == br.cuda_blocks
+        assert bv.types == br.types
+    assert vec.kernel_time == pytest.approx(ref.kernel_time, rel=1e-12)
+    assert vec.sched_overhead == pytest.approx(ref.sched_overhead, rel=1e-12)
+
+
+def test_golden_file_covers_all_configs():
+    """Every generated config has a golden entry and vice versa."""
+    assert set(_GOLDEN) == set(_CONFIGS)
