@@ -34,6 +34,11 @@ BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 #: Number of matrices in the Figure-10 sweep (paper: 200).
 SWEEP_COUNT = int(os.environ.get("REPRO_SWEEP_COUNT", "200"))
 
+#: Worker processes for the collection sweeps (repro.sweep); 1 runs the
+#: cells sequentially in-process.  The merged tables are identical for
+#: any worker count.
+SWEEP_WORKERS = int(os.environ.get("REPRO_SWEEP_WORKERS", "1"))
+
 
 @pytest.fixture(scope="session")
 def emit():

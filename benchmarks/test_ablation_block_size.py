@@ -6,33 +6,40 @@ reproduction scale the analogous knobs are swept here: small tiles expose
 more parallelism but multiply task counts (launch/scheduling overhead);
 large tiles starve the DAG.  Trojan Horse flattens this trade-off —
 aggregation recovers most of the small-tile overhead.
+
+The parameter grid dispatches through :mod:`repro.sweep` (index-sharded,
+REPRO_SWEEP_WORKERS processes), the same runner as the Figure-10 sweep.
 """
 
 from repro.analysis import format_table
-from repro.gpusim import RTX5090
-from repro.matrices import paper_matrix
-from repro.solvers import PanguLUSolver, SuperLUSolver, resimulate
+from repro.matrices import SuiteEntry, paper_matrix
+from repro.solvers import PanguLUSolver
+from repro.sweep import SweepItem, default_workers, run_sweep
 
 
 def test_ablation_block_size(emit, benchmark):
     a = paper_matrix("cage12")
+    entry = SuiteEntry(name="cage12", kind="cage12", matrix=a)
+    items = []
+    for bs in (16, 32, 64, 128):
+        items.append(SweepItem(
+            index=len(items), entry=entry, solver="pangulu", gpu="rtx5090",
+            solver_kwargs=(("block_size", bs),)))
+    for sn in (8, 16, 32):
+        items.append(SweepItem(
+            index=len(items), entry=entry, solver="superlu", gpu="rtx5090",
+            merge_schur=True, solver_kwargs=(("max_supernode", sn),)))
+    outcome = run_sweep(items, workers=default_workers(),
+                        shard_key=lambda it: it.index)
+
     rows = []
     ratios = {}
-    for bs in (16, 32, 64, 128):
-        run = PanguLUSolver(a, block_size=bs, scheduler="serial",
-                            gpu=RTX5090).factorize()
-        base = run.schedule.total_time
-        trojan = resimulate(run, "trojan", RTX5090).total_time
-        ratios[bs] = base / trojan
-        rows.append(["pangulu", bs, run.schedule.task_count, base * 1e3,
-                     trojan * 1e3, round(base / trojan, 2)])
-    for sn in (8, 16, 32):
-        run = SuperLUSolver(a, max_supernode=sn, scheduler="serial",
-                            gpu=RTX5090).factorize()
-        base = run.schedule.total_time
-        trojan = resimulate(run, "trojan", RTX5090,
-                            merge_schur=True).total_time
-        rows.append(["superlu", sn, run.schedule.task_count, base * 1e3,
+    for item, row in zip(items, outcome.rows):
+        size = dict(item.solver_kwargs).popitem()[1]
+        base, trojan = row.base_time, row.time_for("trojan")
+        if row.solver == "pangulu":
+            ratios[size] = base / trojan
+        rows.append([row.solver, size, row.tasks, base * 1e3,
                      trojan * 1e3, round(base / trojan, 2)])
     emit("ablation_block_size", format_table(
         ["substrate", "tile/supernode size", "tasks", "baseline (ms)",

@@ -5,28 +5,38 @@ task count, and the DAG's parallel width.  This ablation factorises one
 matrix under every ordering the library ships and reports fill, tasks and
 the Trojan Horse gain — demonstrating that the scheduling layer composes
 with (and is orthogonal to) the ordering choice.
+
+The ordering grid dispatches through :mod:`repro.sweep` (index-sharded,
+REPRO_SWEEP_WORKERS processes), the same runner as the Figure-10 sweep.
 """
 
 from repro.analysis import format_table
-from repro.gpusim import RTX5090
-from repro.matrices import paper_matrix
+from repro.matrices import SuiteEntry, paper_matrix
 from repro.ordering import ORDERING_METHODS
-from repro.solvers import PanguLUSolver, resimulate
+from repro.solvers import PanguLUSolver
+from repro.sweep import SweepItem, default_workers, run_sweep
 
 
 def test_ablation_ordering(emit, benchmark):
     a = paper_matrix("c-71")
+    entry = SuiteEntry(name="c-71", kind="c-71", matrix=a)
+    items = [
+        SweepItem(index=i, entry=entry, solver="pangulu", gpu="rtx5090",
+                  solver_kwargs=(("ordering", method),))
+        for i, method in enumerate(ORDERING_METHODS)
+    ]
+    outcome = run_sweep(items, workers=default_workers(),
+                        shard_key=lambda it: it.index)
+
     rows = []
     fills = {}
     speedups = {}
-    for method in ORDERING_METHODS:
-        run = PanguLUSolver(a, ordering=method, scheduler="serial",
-                            gpu=RTX5090).factorize()
-        base = run.schedule.total_time
-        trojan = resimulate(run, "trojan", RTX5090).total_time
-        fills[method] = run.fill_nnz
+    for item, row in zip(items, outcome.rows):
+        method = dict(item.solver_kwargs)["ordering"]
+        base, trojan = row.base_time, row.time_for("trojan")
+        fills[method] = row.fill_nnz
         speedups[method] = base / trojan
-        rows.append([method, run.fill_nnz, run.schedule.task_count,
+        rows.append([method, row.fill_nnz, row.tasks,
                      base * 1e3, trojan * 1e3,
                      round(speedups[method], 2)])
     emit("ablation_ordering", format_table(

@@ -4,79 +4,60 @@ The paper factorises 200 SuiteSparse matrices from 31 kinds and reports
 the per-matrix speedup of each solver with Trojan Horse over its
 baseline: geometric means 5.47× for SuperLU_DIST (max 418.79×) and 2.84×
 for PanguLU (max 5.59×).  This bench runs the synthetic 200-matrix
-collection (DESIGN.md §3), factorises each matrix once per substrate, and
-replays both schedules on the A100 model.
+collection (DESIGN.md §3) through :mod:`repro.sweep`: each (matrix,
+solver) cell factorises once per substrate and replays both schedules on
+the A100 model, sharded over a process pool when workers are available.
 
 Environment knobs: REPRO_SWEEP_COUNT (default 200) and REPRO_SWEEP_BASE
-(default 220) shrink the sweep for smoke runs.
+(default 220) shrink the sweep for smoke runs; REPRO_SWEEP_WORKERS
+(default 1) fans the cells out over that many worker processes — the
+merged table is bit-identical for any worker count (tests/test_sweep.py
+proves it differentially).
 """
 
 import os
 
-import numpy as np
-
-from repro.analysis import format_table, speedup_summary
 from repro.gpusim import A100_40GB
-from repro.matrices import suite_collection
-from repro.solvers import PanguLUSolver, SuperLUSolver, resimulate
+from repro.solvers import PanguLUSolver
+from repro.sweep import (
+    cache_stats_table,
+    default_workers,
+    fig10_items,
+    fig10_summaries,
+    fig10_table,
+    run_sweep,
+)
 
 SWEEP_COUNT = int(os.environ.get("REPRO_SWEEP_COUNT", "200"))
 SWEEP_BASE = int(os.environ.get("REPRO_SWEEP_BASE", "220"))
 
 
 def test_fig10_sweep200(emit, benchmark):
-    collection = suite_collection(count=SWEEP_COUNT, base_size=SWEEP_BASE)
-    results = {"superlu": [], "pangulu": []}
-    for entry in collection:
-        a = entry.matrix
-        for solver_name, cls, kwargs in (
-            ("superlu", SuperLUSolver, {"max_supernode": 32}),
-            ("pangulu", PanguLUSolver, {"block_size": 64}),
-        ):
-            run = cls(a, scheduler="serial", gpu=A100_40GB,
-                      **kwargs).factorize()
-            base = run.schedule.total_time
-            trojan = resimulate(
-                run, "trojan", A100_40GB,
-                merge_schur=solver_name == "superlu").total_time
-            results[solver_name].append((entry.name, base, trojan))
+    items = fig10_items(count=SWEEP_COUNT, base_size=SWEEP_BASE)
+    outcome = run_sweep(items, workers=default_workers())
+    emit("fig10_sweep200", fig10_table(outcome.rows, SWEEP_COUNT))
+    emit("fig10_sweep200_cache", cache_stats_table(outcome))
 
-    rows = []
-    summaries = {}
-    for solver_name, data in results.items():
-        summary = speedup_summary([d[1] for d in data],
-                                  [d[2] for d in data])
-        summaries[solver_name] = summary
-        sp = summary["speedups"]
-        deciles = np.percentile(sp, [10, 50, 90])
-        rows.append([
-            solver_name, len(data),
-            round(summary["geomean"], 2), round(summary["max"], 1),
-            round(summary["min"], 2), summary["regressions"],
-            round(float(deciles[0]), 2), round(float(deciles[1]), 2),
-            round(float(deciles[2]), 2),
-        ])
-    emit("fig10_sweep200", format_table(
-        ["solver", "matrices", "geomean speedup", "max", "min",
-         "regressions", "p10", "median", "p90"],
-        rows,
-        title=f"Figure 10 — {SWEEP_COUNT}-matrix sweep on the A100 "
-              "(paper: SuperLU 5.47x geomean / 418.79x max, "
-              "PanguLU 2.84x / 5.59x)",
-    ))
+    summaries = fig10_summaries(outcome.rows)
 
     # headline shapes: both solvers gain; SuperLU gains far more
     assert summaries["superlu"]["geomean"] > summaries["pangulu"]["geomean"]
-    assert summaries["pangulu"]["geomean"] > 1.5
-    assert summaries["superlu"]["max"] > summaries["pangulu"]["max"]
-    # Trojan Horse should essentially never lose
-    total = len(results["superlu"]) + len(results["pangulu"])
-    regressions = (summaries["superlu"]["regressions"]
-                   + summaries["pangulu"]["regressions"])
-    assert regressions <= 0.02 * total
+    # the absolute-magnitude claims hold at collection scale only — the
+    # size ladder needs several rounds before PanguLU's large sparse
+    # tasks benefit from batching; smoke runs validate the runner and
+    # the table, not the paper numbers
+    if SWEEP_COUNT >= 100:
+        assert summaries["pangulu"]["geomean"] > 1.5
+        assert summaries["superlu"]["max"] > summaries["pangulu"]["max"]
+        # Trojan Horse should essentially never lose
+        total = (summaries["superlu"]["matrices"]
+                 + summaries["pangulu"]["matrices"])
+        regressions = (summaries["superlu"]["regressions"]
+                       + summaries["pangulu"]["regressions"])
+        assert regressions <= 0.02 * total
 
     # benchmark payload: one sweep element end to end
-    entry = collection[0]
+    entry = items[0].materialized()
     benchmark.pedantic(
         lambda: PanguLUSolver(entry.matrix, scheduler="trojan",
                               gpu=A100_40GB).factorize(),

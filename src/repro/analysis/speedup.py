@@ -27,11 +27,26 @@ def speedup_summary(baseline_times, enhanced_times) -> dict:
     -------
     dict with ``speedups`` (array), ``geomean``, ``max``, ``min`` and the
     count of regressions (speedup < 1).
+
+    Raises
+    ------
+    ValueError
+        If the sequences differ in shape or either contains a
+        non-positive (or NaN) time — a zero enhanced time would otherwise
+        silently publish an infinite speedup.
     """
     base = np.asarray(list(baseline_times), dtype=np.float64)
     enh = np.asarray(list(enhanced_times), dtype=np.float64)
     if base.shape != enh.shape:
         raise ValueError("mismatched result sequences")
+    for label, arr in (("baseline", base), ("enhanced", enh)):
+        bad = np.flatnonzero(~(arr > 0))
+        if bad.size:
+            i = int(bad[0])
+            raise ValueError(
+                f"{label} time at index {i} is {arr[i]!r}; "
+                "times must be strictly positive"
+            )
     speedups = base / enh
     return {
         "speedups": speedups,

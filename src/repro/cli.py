@@ -7,6 +7,7 @@ Examples::
     python -m repro factor --mtx system.mtx --solver superlu --gpu a100 --solve
     python -m repro scaleout --matrix cage13 --cluster h100 --policy trojan
     python -m repro compare --matrix c-71 --solver superlu
+    python -m repro sweep --count 24 --workers 4
 """
 
 from __future__ import annotations
@@ -20,27 +21,23 @@ from repro.analysis import format_table
 from repro.cluster import DistributedSimulator, H100_CLUSTER, MI50_CLUSTER
 from repro.core.baselines import SCHEDULER_NAMES
 from repro.core.executor import ReplayBackend
-from repro.gpusim import GPU_PRESETS, RTX5090
+from repro.gpusim import GPU_PRESETS
 from repro.io import read_matrix_market
 from repro.matrices import PAPER_MATRICES, paper_matrix, suite_kinds
 from repro.ordering import ORDERING_METHODS
-from repro.solvers import (
-    CholeskySolver,
-    PanguLUSolver,
-    PaStiXSolver,
-    SuperLUSolver,
-    resimulate,
-)
+from repro.solvers import SOLVER_REGISTRY, resimulate
 from repro.sparse import matvec
+from repro.sweep import (
+    cache_stats_table,
+    default_workers,
+    fig10_items,
+    fig10_table,
+    run_sweep,
+)
 
 CLUSTERS = {"h100": H100_CLUSTER, "mi50": MI50_CLUSTER}
 
-SOLVERS = {
-    "pangulu": PanguLUSolver,
-    "superlu": SuperLUSolver,
-    "pastix": PaStiXSolver,
-    "cholesky": CholeskySolver,
-}
+SOLVERS = SOLVER_REGISTRY
 
 
 def _load_matrix(args):
@@ -151,6 +148,18 @@ def cmd_scaleout(args) -> int:
     return 0
 
 
+def cmd_sweep(args) -> int:
+    """Run the Figure-10 collection sweep, optionally multiprocess."""
+    if args.workers is not None and args.workers < 1:
+        raise SystemExit("--workers must be >= 1")
+    items = fig10_items(count=args.count, base_size=args.base, gpu=args.gpu)
+    outcome = run_sweep(items, workers=args.workers)
+    print(fig10_table(outcome.rows, args.count))
+    print()
+    print(cache_stats_table(outcome))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse CLI."""
     p = argparse.ArgumentParser(
@@ -190,6 +199,17 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--policy", default="trojan",
                    choices=("serial", "streams", "trojan"))
     s.add_argument("--gpus", type=int, default=16)
+
+    w = sub.add_parser(
+        "sweep", help="Figure-10 collection sweep over a worker pool")
+    w.add_argument("--count", type=int, default=200,
+                   help="number of collection matrices (paper: 200)")
+    w.add_argument("--base", type=int, default=220,
+                   help="nominal matrix size the collection varies around")
+    w.add_argument("--workers", type=int, default=None,
+                   help="process-pool size (default: $REPRO_SWEEP_WORKERS "
+                        f"or {default_workers()})")
+    w.add_argument("--gpu", default="a100", choices=sorted(GPU_PRESETS))
     return p
 
 
@@ -201,6 +221,7 @@ def main(argv=None) -> int:
         "factor": cmd_factor,
         "compare": cmd_compare,
         "scaleout": cmd_scaleout,
+        "sweep": cmd_sweep,
     }
     return handlers[args.command](args)
 

@@ -51,6 +51,10 @@ class DistributedResult:
     comm_bytes: int
     timeline: list[tuple[int, float, float, list[int]]] | None = None
 
+    def __post_init__(self) -> None:
+        if self.nprocs < 1:
+            raise ValueError(f"nprocs must be >= 1, got {self.nprocs}")
+
     @property
     def gflops(self) -> float:
         """Aggregate cluster throughput."""
@@ -59,8 +63,14 @@ class DistributedResult:
 
     @property
     def load_balance(self) -> float:
-        """mean/max busy-time ratio (1.0 = perfectly balanced)."""
-        busy = np.asarray(self.per_proc_busy)
+        """mean/max busy-time ratio (1.0 = perfectly balanced).
+
+        An empty ``per_proc_busy`` (a result that has not run yet) is
+        vacuously balanced: 1.0, rather than a zero-size reduction error.
+        """
+        busy = np.asarray(self.per_proc_busy, dtype=np.float64)
+        if busy.size == 0:
+            return 1.0
         return float(busy.mean() / busy.max()) if busy.max() > 0 else 1.0
 
     def summary(self) -> dict:
@@ -270,6 +280,8 @@ class DistributedSimulator:
                  msg_scale: float = 1.0):
         if policy not in POLICIES:
             raise ValueError(f"unknown policy {policy!r}; choose from {POLICIES}")
+        if nprocs < 1:
+            raise ValueError(f"nprocs must be >= 1, got {nprocs}")
         if msg_scale <= 0:
             raise ValueError("msg_scale must be positive")
         self.dag = dag

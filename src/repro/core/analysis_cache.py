@@ -135,6 +135,24 @@ class AnalysisCache:
         return self.get_or_compute(key, compute)
 
 
+def merge_stats(stats_list) -> dict:
+    """Aggregate several :meth:`AnalysisCache.stats` snapshots.
+
+    Used by the multiprocess sweep runner to fold per-worker cache
+    accounting into one table row: counters are summed, ``hit_rate`` is
+    recomputed over the combined lookup count, and ``capacity`` /
+    ``entries`` report totals across the (disjoint) worker caches.
+    """
+    total = {"entries": 0, "capacity": 0, "hits": 0, "misses": 0,
+             "evictions": 0}
+    for s in stats_list:
+        for key in total:
+            total[key] += s[key]
+    lookups = total["hits"] + total["misses"]
+    total["hit_rate"] = total["hits"] / lookups if lookups else 0.0
+    return total
+
+
 #: Process-wide default cache the solver drivers share, sized for a
 #: couple of solver/partition combinations over a handful of patterns.
 DEFAULT_ANALYSIS_CACHE = AnalysisCache(capacity=32)

@@ -51,6 +51,10 @@ def _read(fh) -> CSRMatrix:
 
     line = fh.readline()
     while line.startswith("%") or not line.strip():
+        if not line:  # readline() returns "" forever at EOF
+            raise ValueError(
+                "truncated MatrixMarket file: no size line after the header"
+            )
         line = fh.readline()
     m, n, nnz = (int(t) for t in line.split())
 
@@ -62,13 +66,23 @@ def _read(fh) -> CSRMatrix:
         line = line.strip()
         if not line or line.startswith("%"):
             continue
+        if k >= nnz:
+            raise ValueError(
+                f"malformed MatrixMarket file: more than {nnz} entry lines"
+            )
         parts = line.split()
+        if len(parts) < (2 if field == "pattern" else 3):
+            raise ValueError(
+                f"malformed MatrixMarket entry line: {line!r}"
+            )
         rows[k] = int(parts[0]) - 1
         cols[k] = int(parts[1]) - 1
         vals[k] = float(parts[2]) if field != "pattern" else 1.0
         k += 1
     if k != nnz:
-        raise ValueError(f"expected {nnz} entries, found {k}")
+        raise ValueError(
+            f"truncated MatrixMarket file: expected {nnz} entries, found {k}"
+        )
 
     if symmetry in ("symmetric", "skew-symmetric"):
         off = rows != cols

@@ -35,7 +35,13 @@ from repro.matrices.paper import (
     SCALE_UP_NAMES,
     SCALE_OUT_NAMES,
 )
-from repro.matrices.suite import suite_collection, suite_kinds
+from repro.matrices.suite import (
+    SuiteEntry,
+    SuiteEntrySpec,
+    suite_collection,
+    suite_kinds,
+    suite_specs,
+)
 
 __all__ = [
     "poisson2d",
@@ -59,6 +65,9 @@ __all__ = [
     "paper_matrix_info",
     "SCALE_UP_NAMES",
     "SCALE_OUT_NAMES",
+    "SuiteEntry",
+    "SuiteEntrySpec",
     "suite_collection",
     "suite_kinds",
+    "suite_specs",
 ]

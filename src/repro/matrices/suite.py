@@ -19,11 +19,41 @@ from repro.matrices import generators as g
 
 @dataclass(frozen=True)
 class SuiteEntry:
-    """One matrix of the synthetic collection."""
+    """One matrix of the synthetic collection.
+
+    Picklable (``CSRMatrix`` round-trips through pickle), so entries can
+    ship to :mod:`repro.sweep` worker processes directly; for large
+    collections prefer shipping the :class:`SuiteEntrySpec` and rebuilding
+    in the worker — a spec is a few ints instead of the matrix arrays.
+    """
 
     name: str
     kind: str
     matrix: CSRMatrix
+
+
+@dataclass(frozen=True)
+class SuiteEntrySpec:
+    """Recipe for one collection entry — tiny and picklable.
+
+    ``materialize()`` rebuilds the exact :class:`SuiteEntry` the
+    equivalent :func:`suite_collection` call would produce (generators
+    are deterministic in ``(size, seed)``), so worker processes can
+    regenerate matrices locally instead of receiving their arrays over
+    the pipe.
+    """
+
+    name: str
+    kind: str
+    kind_index: int
+    size: int
+    seed: int
+
+    def materialize(self) -> SuiteEntry:
+        """Build the entry this spec describes."""
+        label, builder = _KINDS[self.kind_index]
+        return SuiteEntry(name=self.name, kind=label,
+                          matrix=builder(self.size, self.seed))
 
 
 def _k(fn, label):
@@ -92,9 +122,9 @@ def suite_kinds() -> list[str]:
     return [label for label, _ in _KINDS]
 
 
-def suite_collection(count: int = 200, base_size: int = 300,
-                     seed: int = 2026) -> list[SuiteEntry]:
-    """Generate the deterministic ``count``-matrix collection.
+def suite_specs(count: int = 200, base_size: int = 300,
+                seed: int = 2026) -> list[SuiteEntrySpec]:
+    """The recipes behind :func:`suite_collection`, without the matrices.
 
     Kinds are cycled round-robin; successive visits to a kind vary the
     target size over roughly [0.4×, 2.3×] ``base_size`` and advance the
@@ -109,18 +139,26 @@ def suite_collection(count: int = 200, base_size: int = 300,
     seed:
         Base seed; the collection is fully reproducible.
     """
-    entries: list[SuiteEntry] = []
-    visit = 0
-    while len(entries) < count:
-        label, builder = _KINDS[visit % len(_KINDS)]
+    specs: list[SuiteEntrySpec] = []
+    for visit in range(count):
+        kind_index = visit % len(_KINDS)
+        label = _KINDS[kind_index][0]
         round_no = visit // len(_KINDS)
         # deterministic size ladder per round: 0.4x, 0.8x, 1.3x, 1.8x, 2.3x...
-        size = int(base_size * (0.4 + 0.47 * round_no))
-        size = max(60, size)
-        mat = builder(size, seed + visit)
-        entries.append(
-            SuiteEntry(name=f"{label.replace(' ', '_')}_{round_no}", kind=label,
-                       matrix=mat)
-        )
-        visit += 1
-    return entries
+        size = max(60, int(base_size * (0.4 + 0.47 * round_no)))
+        specs.append(SuiteEntrySpec(
+            name=f"{label.replace(' ', '_')}_{round_no}", kind=label,
+            kind_index=kind_index, size=size, seed=seed + visit,
+        ))
+    return specs
+
+
+def suite_collection(count: int = 200, base_size: int = 300,
+                     seed: int = 2026) -> list[SuiteEntry]:
+    """Generate the deterministic ``count``-matrix collection.
+
+    See :func:`suite_specs` for the sizing/seeding scheme; this simply
+    materializes every spec.
+    """
+    return [spec.materialize()
+            for spec in suite_specs(count, base_size, seed)]

@@ -29,6 +29,16 @@ from repro.solvers.pastix import PaStiXSolver
 from repro.solvers.cpu import CPUSolver, CPUSolverResult
 from repro.solvers.cholesky import CholeskySolver, CholeskyResult
 
+#: Name → solver-class registry; the CLI and the sweep runner address
+#: substrates by these keys so work items stay picklable (a key string
+#: crosses process boundaries, a class reference need not).
+SOLVER_REGISTRY = {
+    "pangulu": PanguLUSolver,
+    "superlu": SuperLUSolver,
+    "pastix": PaStiXSolver,
+    "cholesky": CholeskySolver,
+}
+
 __all__ = [
     "NumericEngine",
     "NumericBackend",
@@ -43,4 +53,5 @@ __all__ = [
     "CPUSolverResult",
     "CholeskySolver",
     "CholeskyResult",
+    "SOLVER_REGISTRY",
 ]

@@ -1,0 +1,325 @@
+"""Multiprocess sweep runner for collection-scale experiments.
+
+The Figure-10 reproduction factorises a 200-matrix collection once per
+solver substrate — embarrassingly parallel at the (matrix, solver,
+scheduler) cell level.  This module shards a sweep over a
+``concurrent.futures.ProcessPoolExecutor``:
+
+* **Work items are picklable recipes.**  A :class:`SweepItem` carries a
+  :class:`~repro.matrices.suite.SuiteEntrySpec` (a few ints, rebuilt in
+  the worker) or a full :class:`~repro.matrices.suite.SuiteEntry`, plus
+  the solver key, GPU preset key and scheduler names — never class or
+  device objects, so the pipe traffic stays tiny.
+* **Deterministic kind-affinity sharding.**  Items are grouped into one
+  chunk per worker by their matrix kind (first-appearance order, round
+  robin), so repeated patterns of one generator family land in the same
+  worker and hit its private pattern-keyed
+  :class:`~repro.core.analysis_cache.AnalysisCache`.
+* **Bit-identical merging.**  Every cell is computed by deterministic
+  code, workers return :class:`SweepRow` summaries, and the merge sorts
+  rows by the original item index — the parallel sweep emits exactly the
+  rows the sequential path does (``tests/test_sweep.py`` proves it
+  differentially).  Per-worker cache accounting is aggregated separately
+  and never feeds the result table.
+
+Worker count comes from the ``REPRO_SWEEP_WORKERS`` environment knob
+(default 1 = sequential, same code path minus the pool) or the
+``--workers`` flag of ``python -m repro sweep``.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.analysis.speedup import speedup_summary
+from repro.core.analysis_cache import AnalysisCache, merge_stats
+from repro.gpusim import GPU_PRESETS
+from repro.matrices.suite import SuiteEntry, SuiteEntrySpec, suite_specs
+from repro.solvers import SOLVER_REGISTRY, resimulate
+
+WORKERS_ENV = "REPRO_SWEEP_WORKERS"
+"""Environment variable naming the default worker count."""
+
+
+def default_workers() -> int:
+    """Worker count from :data:`WORKERS_ENV` (default 1, validated)."""
+    raw = os.environ.get(WORKERS_ENV, "1")
+    try:
+        workers = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{WORKERS_ENV} must be an integer, got {raw!r}"
+        ) from None
+    if workers < 1:
+        raise ValueError(f"{WORKERS_ENV} must be >= 1, got {workers}")
+    return workers
+
+
+@dataclass(frozen=True)
+class SweepItem:
+    """One (matrix, solver, scheduler) cell of a sweep.
+
+    Attributes
+    ----------
+    index:
+        Position in the sweep; the merge sorts result rows by it, so it
+        must be unique per item.
+    entry:
+        A :class:`SuiteEntrySpec` (preferred — workers regenerate the
+        matrix locally) or a materialized :class:`SuiteEntry`.
+    solver:
+        Key into :data:`repro.solvers.SOLVER_REGISTRY`.
+    gpu:
+        Key into :data:`repro.gpusim.GPU_PRESETS`.
+    scheduler:
+        Baseline scheduling policy for the factorisation.
+    resim:
+        Scheduler names to replay the recorded schedule under
+        (:func:`repro.solvers.resimulate`).
+    merge_schur:
+        Apply the §3.5.1 Schur-fusion rewrite when resimulating with the
+        Trojan Horse (the SuperLU integration).
+    solver_kwargs:
+        Extra solver-constructor kwargs as a tuple of ``(name, value)``
+        pairs — tuples keep the dataclass hashable and picklable.
+    """
+
+    index: int
+    entry: "SuiteEntry | SuiteEntrySpec"
+    solver: str
+    gpu: str = "a100"
+    scheduler: str = "serial"
+    resim: tuple = ("trojan",)
+    merge_schur: bool = False
+    solver_kwargs: tuple = ()
+
+    def materialized(self) -> SuiteEntry:
+        """The entry with its matrix built (rebuilds a spec)."""
+        if isinstance(self.entry, SuiteEntrySpec):
+            return self.entry.materialize()
+        return self.entry
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    """Picklable summary of one executed sweep cell."""
+
+    index: int
+    name: str
+    kind: str
+    solver: str
+    scheduler: str
+    base_time: float
+    resim_times: tuple
+    tasks: int
+    kernels: int
+    fill_nnz: int
+
+    def time_for(self, scheduler: str) -> float:
+        """Resimulated total time under ``scheduler``."""
+        return dict(self.resim_times)[scheduler]
+
+
+@dataclass
+class SweepOutcome:
+    """Merged result of :func:`run_sweep`.
+
+    ``rows`` are sorted by item index — identical for any worker count.
+    ``cache_stats`` aggregates the per-worker analysis caches (this is
+    the only part of the outcome that legitimately varies with the shard
+    layout, so it is reported separately from the rows).
+    """
+
+    rows: list
+    workers: int
+    cache_stats: dict
+    per_worker_cache_stats: list
+
+
+def run_cell(item: SweepItem, cache: AnalysisCache | None = None) -> SweepRow:
+    """Execute one sweep cell (factorise + resimulate) and summarise it."""
+    entry = item.materialized()
+    cls = SOLVER_REGISTRY[item.solver]
+    gpu = GPU_PRESETS[item.gpu]
+    run = cls(entry.matrix, scheduler=item.scheduler, gpu=gpu,
+              analysis_cache=cache, **dict(item.solver_kwargs)).factorize()
+    resim_times = tuple(
+        (sched,
+         resimulate(run, sched, gpu,
+                    merge_schur=item.merge_schur
+                    and sched == "trojan").total_time)
+        for sched in item.resim
+    )
+    return SweepRow(
+        index=item.index, name=entry.name, kind=entry.kind,
+        solver=item.solver, scheduler=item.scheduler,
+        base_time=run.schedule.total_time, resim_times=resim_times,
+        tasks=run.schedule.task_count, kernels=run.schedule.kernel_count,
+        fill_nnz=run.fill_nnz,
+    )
+
+
+def _kind_of(item: SweepItem):
+    return item.entry.kind
+
+
+def shard_items(items, workers: int, shard_key=None) -> list:
+    """Split ``items`` into at most ``workers`` deterministic shards.
+
+    ``shard_key`` maps an item to its affinity group (default: the matrix
+    kind).  Groups are assigned to shards round-robin in first-appearance
+    order, so the layout depends only on the item sequence and the worker
+    count — never on hashing or timing.  Within a shard, items keep their
+    original order.  Empty shards are dropped.
+    """
+    items = list(items)
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if shard_key is None:
+        shard_key = _kind_of
+    if workers == 1:
+        return [items] if items else []
+    assignment: dict = {}
+    shards: list = [[] for _ in range(workers)]
+    for item in items:
+        key = shard_key(item)
+        if key not in assignment:
+            assignment[key] = len(assignment) % workers
+        shards[assignment[key]].append(item)
+    return [shard for shard in shards if shard]
+
+
+def _run_shard(shard, cache_capacity: int):
+    """Worker entry point: run one shard with a private analysis cache."""
+    cache = AnalysisCache(capacity=cache_capacity)
+    rows = [run_cell(item, cache) for item in shard]
+    return rows, cache.stats()
+
+
+def run_sweep(items, workers: int | None = None, cache_capacity: int = 32,
+              shard_key=None) -> SweepOutcome:
+    """Run every sweep cell, fanning out over a process pool.
+
+    Parameters
+    ----------
+    items:
+        The :class:`SweepItem` cells; indices must be unique.
+    workers:
+        Process count; ``None`` reads :data:`WORKERS_ENV` (default 1).
+        One worker runs the shards in-process — the sequential reference
+        path, same code minus the pool.
+    cache_capacity:
+        Capacity of each worker's private
+        :class:`~repro.core.analysis_cache.AnalysisCache`.
+    shard_key:
+        Affinity grouping override (see :func:`shard_items`).
+    """
+    items = list(items)
+    if workers is None:
+        workers = default_workers()
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    indices = [item.index for item in items]
+    if len(set(indices)) != len(indices):
+        raise ValueError("sweep item indices must be unique")
+    shards = shard_items(items, workers, shard_key)
+    if workers == 1 or len(shards) <= 1:
+        shard_results = [_run_shard(shard, cache_capacity)
+                         for shard in shards]
+    else:
+        with ProcessPoolExecutor(max_workers=len(shards)) as pool:
+            futures = [pool.submit(_run_shard, shard, cache_capacity)
+                       for shard in shards]
+            shard_results = [f.result() for f in futures]
+    rows = sorted((row for shard_rows, _ in shard_results
+                   for row in shard_rows), key=lambda r: r.index)
+    per_worker = [stats for _, stats in shard_results]
+    return SweepOutcome(rows=rows, workers=workers,
+                        cache_stats=merge_stats(per_worker)
+                        if per_worker else merge_stats([]),
+                        per_worker_cache_stats=per_worker)
+
+
+# ----------------------------------------------------------------------
+# the Figure-10 sweep expressed as sweep cells
+# ----------------------------------------------------------------------
+
+#: (solver key, constructor kwargs, Schur fusion on trojan resim) — the
+#: per-entry substrate cells of the Figure-10 sweep.
+FIG10_CELLS = (
+    ("superlu", (("max_supernode", 32),), True),
+    ("pangulu", (("block_size", 64),), False),
+)
+
+
+def fig10_items(count: int, base_size: int, gpu: str = "a100") -> list:
+    """The Figure-10 sweep as work items (two solver cells per matrix)."""
+    items: list = []
+    for spec in suite_specs(count=count, base_size=base_size):
+        for solver, kwargs, merge in FIG10_CELLS:
+            items.append(SweepItem(
+                index=len(items), entry=spec, solver=solver, gpu=gpu,
+                merge_schur=merge, solver_kwargs=kwargs,
+            ))
+    return items
+
+
+def fig10_summaries(rows) -> dict:
+    """Per-solver :func:`speedup_summary` dicts over merged sweep rows."""
+    summaries = {}
+    for solver, _, _ in FIG10_CELLS:
+        data = [row for row in rows if row.solver == solver]
+        summaries[solver] = speedup_summary(
+            [row.base_time for row in data],
+            [row.time_for("trojan") for row in data],
+        )
+        summaries[solver]["matrices"] = len(data)
+    return summaries
+
+
+def fig10_table(rows, count: int) -> str:
+    """Render the Figure-10 summary table from merged sweep rows.
+
+    Pure function of the rows, so sequential and parallel sweeps emit
+    byte-identical tables.
+    """
+    table_rows = []
+    for solver, summary in fig10_summaries(rows).items():
+        deciles = np.percentile(summary["speedups"], [10, 50, 90])
+        table_rows.append([
+            solver, summary["matrices"],
+            round(summary["geomean"], 2), round(summary["max"], 1),
+            round(summary["min"], 2), summary["regressions"],
+            round(float(deciles[0]), 2), round(float(deciles[1]), 2),
+            round(float(deciles[2]), 2),
+        ])
+    return format_table(
+        ["solver", "matrices", "geomean speedup", "max", "min",
+         "regressions", "p10", "median", "p90"],
+        table_rows,
+        title=f"Figure 10 — {count}-matrix sweep on the A100 "
+              "(paper: SuperLU 5.47x geomean / 418.79x max, "
+              "PanguLU 2.84x / 5.59x)",
+    )
+
+
+def cache_stats_table(outcome: SweepOutcome) -> str:
+    """Render the aggregated per-worker analysis-cache accounting."""
+    rows = [
+        [f"worker {w}", s["entries"], s["hits"], s["misses"],
+         s["evictions"], round(s["hit_rate"], 3)]
+        for w, s in enumerate(outcome.per_worker_cache_stats)
+    ]
+    agg = outcome.cache_stats
+    rows.append(["total", agg["entries"], agg["hits"], agg["misses"],
+                 agg["evictions"], round(agg["hit_rate"], 3)])
+    return format_table(
+        ["cache", "entries", "hits", "misses", "evictions", "hit rate"],
+        rows,
+        title=f"Analysis-cache accounting ({outcome.workers} workers)",
+    )

@@ -66,6 +66,29 @@ class TestSpeedupSummary:
         with pytest.raises(ValueError):
             speedup_summary([1.0], [1.0, 2.0])
 
+    def test_zero_enhanced_time_rejected(self):
+        # regression: used to divide by zero and publish geomean=inf
+        # under a RuntimeWarning instead of failing loudly
+        with pytest.raises(ValueError, match="enhanced time at index 1"):
+            speedup_summary([10.0, 20.0], [5.0, 0.0])
+
+    def test_zero_enhanced_never_warns_inf(self):
+        with np.errstate(divide="raise"):
+            with pytest.raises(ValueError):
+                speedup_summary([1.0], [0.0])
+
+    def test_zero_baseline_time_rejected(self):
+        with pytest.raises(ValueError, match="baseline time at index 0"):
+            speedup_summary([0.0, 20.0], [5.0, 2.0])
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError, match="index 1"):
+            speedup_summary([1.0, -3.0], [1.0, 1.0])
+
+    def test_nan_time_rejected(self):
+        with pytest.raises(ValueError, match="index 0"):
+            speedup_summary([1.0, 1.0], [float("nan"), 1.0])
+
 
 class TestTimeline:
     def test_flops_conserved(self, schedule):

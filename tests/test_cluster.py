@@ -5,6 +5,7 @@ import pytest
 
 from repro.cluster import (
     ClusterSpec,
+    DistributedResult,
     DistributedSimulator,
     H100_CLUSTER,
     IB_200G,
@@ -195,6 +196,37 @@ class TestDistributedSimulator:
         res = DistributedSimulator(dag, backend, H100_CLUSTER, 4,
                                    "serial").run()
         assert 0 < res.load_balance <= 1.0
+
+    def _result(self, **overrides):
+        kwargs = dict(
+            cluster="h100", policy="serial", nprocs=1, makespan=0.0,
+            total_tasks=0, total_kernels=0, total_flops=0,
+            per_proc_kernels=[], per_proc_busy=[], messages=0,
+            comm_bytes=0,
+        )
+        kwargs.update(overrides)
+        return DistributedResult(**kwargs)
+
+    def test_load_balance_empty_is_balanced(self):
+        # regression: empty per_proc_busy used to raise "zero-size array
+        # to reduction operation maximum"
+        res = self._result()
+        assert res.load_balance == 1.0
+        assert res.summary()["balance"] == 1.0
+
+    def test_load_balance_all_idle_is_balanced(self):
+        res = self._result(nprocs=2, per_proc_busy=[0.0, 0.0])
+        assert res.load_balance == 1.0
+
+    def test_result_rejects_nonpositive_nprocs(self):
+        for bad in (0, -3):
+            with pytest.raises(ValueError, match="nprocs"):
+                self._result(nprocs=bad)
+
+    def test_simulator_rejects_nonpositive_nprocs(self, dist_setup):
+        dag, backend = dist_setup
+        with pytest.raises(ValueError, match="nprocs"):
+            DistributedSimulator(dag, backend, H100_CLUSTER, 0, "serial")
 
     def test_summary_keys(self, dist_setup):
         dag, backend = dist_setup

@@ -1,6 +1,8 @@
 """Unit tests for the Matrix Market reader/writer."""
 
+import contextlib
 import io
+import signal
 
 import numpy as np
 import pytest
@@ -75,6 +77,90 @@ class TestRead:
                 "2 2 3\n"
                 "1 1 1.0\n"
             )
+
+
+class TestTruncatedFiles:
+    """Regression tests: truncated/comment-only files must raise, not hang.
+
+    ``_read`` used to loop forever at EOF because ``readline()`` returns
+    ``""`` indefinitely and the comment-skip condition treated that as a
+    blank line.  Each read here runs under a SIGALRM watchdog so a
+    regression fails the test instead of hanging the suite.
+    """
+
+    @contextlib.contextmanager
+    def _watchdog(self, seconds: int = 10):
+        def _timed_out(signum, frame):
+            raise AssertionError(
+                "read_matrix_market hung on a truncated file"
+            )
+
+        old = signal.signal(signal.SIGALRM, _timed_out)
+        signal.alarm(seconds)
+        try:
+            yield
+        finally:
+            signal.alarm(0)
+            signal.signal(signal.SIGALRM, old)
+
+    def test_header_only_raises(self):
+        with self._watchdog():
+            with pytest.raises(ValueError, match="truncated"):
+                _read_str("%%MatrixMarket matrix coordinate real general\n")
+
+    def test_comment_only_raises(self):
+        with self._watchdog():
+            with pytest.raises(ValueError, match="truncated"):
+                _read_str(
+                    "%%MatrixMarket matrix coordinate real general\n"
+                    "% only comments\n"
+                    "% no size line\n"
+                )
+
+    def test_blank_lines_then_eof_raises(self):
+        with self._watchdog():
+            with pytest.raises(ValueError, match="truncated"):
+                _read_str(
+                    "%%MatrixMarket matrix coordinate real general\n"
+                    "\n"
+                    "\n"
+                )
+
+    def test_truncated_entries_named_in_error(self):
+        with self._watchdog():
+            with pytest.raises(ValueError, match="expected 3 entries, found 1"):
+                _read_str(
+                    "%%MatrixMarket matrix coordinate real general\n"
+                    "2 2 3\n"
+                    "1 1 1.0\n"
+                )
+
+    def test_too_many_entries_rejected(self):
+        with pytest.raises(ValueError, match="more than 1"):
+            _read_str(
+                "%%MatrixMarket matrix coordinate real general\n"
+                "2 2 1\n"
+                "1 1 1.0\n"
+                "2 2 2.0\n"
+            )
+
+    def test_short_entry_line_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            _read_str(
+                "%%MatrixMarket matrix coordinate real general\n"
+                "2 2 1\n"
+                "1 1\n"
+            )
+
+    def test_truncated_file_from_disk(self, tmp_path):
+        path = tmp_path / "truncated.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n% half-written\n",
+            encoding="utf-8",
+        )
+        with self._watchdog():
+            with pytest.raises(ValueError, match="truncated"):
+                read_matrix_market(path)
 
 
 class TestRoundtrip:

@@ -1,0 +1,254 @@
+"""Tests for the multiprocess sweep runner (repro.sweep).
+
+The load-bearing property is *determinism*: the parallel sweep must emit
+row-for-row identical results to the sequential path, because the
+Figure-10 tables are part of the reproduction's evidence.  The pickle
+round-trip tests pin down the worker-transfer contract (work items,
+result rows, suite entries and the cached symbolic-analysis triple all
+survive the pipe unchanged).
+"""
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.analysis_cache import AnalysisCache, merge_stats
+from repro.gpusim import A100_40GB
+from repro.matrices import (
+    SuiteEntry,
+    suite_collection,
+    suite_specs,
+)
+from repro.solvers import PanguLUSolver
+from repro.sweep import (
+    SweepItem,
+    SweepRow,
+    WORKERS_ENV,
+    cache_stats_table,
+    default_workers,
+    fig10_items,
+    fig10_summaries,
+    fig10_table,
+    run_cell,
+    run_sweep,
+    shard_items,
+)
+
+COUNT, BASE = 6, 100
+
+
+@pytest.fixture(scope="module")
+def items():
+    return fig10_items(count=COUNT, base_size=BASE)
+
+
+@pytest.fixture(scope="module")
+def sequential(items):
+    return run_sweep(items, workers=1)
+
+
+class TestDifferential:
+    """Parallel and sequential sweeps must be bit-identical."""
+
+    def test_two_workers_identical_rows(self, items, sequential):
+        parallel = run_sweep(items, workers=2)
+        assert parallel.rows == sequential.rows
+
+    def test_three_workers_identical_rows(self, items, sequential):
+        parallel = run_sweep(items, workers=3)
+        assert parallel.rows == sequential.rows
+
+    def test_emitted_table_identical(self, items, sequential):
+        parallel = run_sweep(items, workers=2)
+        assert (fig10_table(parallel.rows, COUNT)
+                == fig10_table(sequential.rows, COUNT))
+
+    def test_rows_sorted_by_index(self, sequential):
+        assert [r.index for r in sequential.rows] == list(range(len(
+            sequential.rows)))
+
+    def test_matches_direct_cell_execution(self, items, sequential):
+        # one worker, no pool, no cache: the plain sequential reference
+        direct = [run_cell(item) for item in items]
+        assert direct == sequential.rows
+
+
+class TestPickleRoundTrip:
+    """Everything crossing the worker pipe must survive pickle unchanged."""
+
+    def test_suite_entry(self):
+        entry = suite_collection(count=1, base_size=80)[0]
+        back = pickle.loads(pickle.dumps(entry))
+        assert back.name == entry.name and back.kind == entry.kind
+        assert np.array_equal(back.matrix.indptr, entry.matrix.indptr)
+        assert np.array_equal(back.matrix.indices, entry.matrix.indices)
+        assert np.array_equal(back.matrix.data, entry.matrix.data)
+
+    def test_csr_matrix(self):
+        a = suite_collection(count=1, base_size=80)[0].matrix
+        back = pickle.loads(pickle.dumps(a))
+        assert back.shape == a.shape
+        assert np.array_equal(back.to_dense(), a.to_dense())
+
+    def test_cached_block_analysis_triple(self):
+        a = suite_collection(count=1, base_size=80)[0].matrix
+        cache = AnalysisCache()
+        run = PanguLUSolver(a, scheduler="serial", gpu=A100_40GB,
+                            analysis_cache=cache).factorize()
+        key = next(k for k in cache._store if k.startswith("dag:"))
+        bfill, tile_nnz, dag = pickle.loads(
+            pickle.dumps(cache._store[key]))
+        assert np.array_equal(bfill, cache._store[key][0])
+        assert tile_nnz == cache._store[key][1]
+        assert dag.n_tasks == run.dag.n_tasks
+        assert np.array_equal(dag.pred_count, run.dag.pred_count)
+        assert dag.successors == run.dag.successors
+        # the rebuilt DAG is fully usable: lazy indices still build
+        dag.validate()
+
+    def test_work_item_and_row(self, items, sequential):
+        item = pickle.loads(pickle.dumps(items[0]))
+        assert item == items[0]
+        row = pickle.loads(pickle.dumps(sequential.rows[0]))
+        assert row == sequential.rows[0]
+
+    def test_spec_materializes_to_collection_entry(self):
+        specs = suite_specs(count=COUNT, base_size=BASE)
+        col = suite_collection(count=COUNT, base_size=BASE)
+        for spec, entry in zip(specs, col):
+            built = spec.materialize()
+            assert built.name == entry.name and built.kind == entry.kind
+            assert np.array_equal(built.matrix.to_dense(),
+                                  entry.matrix.to_dense())
+
+
+class TestSharding:
+    def test_single_worker_single_shard(self, items):
+        shards = shard_items(items, 1)
+        assert len(shards) == 1 and shards[0] == list(items)
+
+    def test_kind_affinity(self, items):
+        shards = shard_items(items, 3)
+        for shard in shards:
+            kinds_here = {it.entry.kind for it in shard}
+            for other in shards:
+                if other is not shard:
+                    assert kinds_here.isdisjoint(
+                        {it.entry.kind for it in other})
+
+    def test_partition_is_complete(self, items):
+        shards = shard_items(items, 4)
+        flat = [it for shard in shards for it in shard]
+        assert sorted(it.index for it in flat) == [it.index for it in items]
+
+    def test_deterministic(self, items):
+        assert shard_items(items, 3) == shard_items(items, 3)
+
+    def test_custom_shard_key(self, items):
+        shards = shard_items(items, 2, shard_key=lambda it: it.index)
+        assert [it.index % 2 for shard in shards
+                for it in shard] == sorted(it.index % 2 for it in items)
+
+    def test_rejects_nonpositive_workers(self, items):
+        with pytest.raises(ValueError):
+            shard_items(items, 0)
+
+    def test_empty_items(self):
+        assert shard_items([], 4) == []
+
+
+class TestKnobs:
+    def test_default_is_one(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert default_workers() == 1
+
+    def test_env_value(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "4")
+        assert default_workers() == 4
+
+    def test_garbage_rejected(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "many")
+        with pytest.raises(ValueError, match=WORKERS_ENV):
+            default_workers()
+
+    def test_nonpositive_rejected(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "0")
+        with pytest.raises(ValueError, match=WORKERS_ENV):
+            default_workers()
+
+    def test_run_sweep_reads_env(self, items, sequential, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "2")
+        outcome = run_sweep(items[:2])
+        assert outcome.workers == 2
+        assert outcome.rows == sequential.rows[:2]
+
+    def test_run_sweep_rejects_bad_workers(self, items):
+        with pytest.raises(ValueError):
+            run_sweep(items, workers=0)
+
+    def test_duplicate_indices_rejected(self, items):
+        with pytest.raises(ValueError, match="unique"):
+            run_sweep([items[0], items[0]], workers=1)
+
+
+class TestOutcome:
+    def test_cache_stats_aggregated(self, items):
+        outcome = run_sweep(items, workers=2)
+        agg = outcome.cache_stats
+        per = outcome.per_worker_cache_stats
+        assert 1 <= len(per) <= 2
+        for key in ("hits", "misses", "evictions", "entries"):
+            assert agg[key] == sum(s[key] for s in per)
+        # same-pattern matrices within a worker actually hit the cache
+        assert agg["hits"] > 0
+
+    def test_merge_stats_empty(self):
+        agg = merge_stats([])
+        assert agg["hits"] == 0 and agg["hit_rate"] == 0.0
+
+    def test_cache_stats_table_renders(self, items):
+        outcome = run_sweep(items, workers=2)
+        text = cache_stats_table(outcome)
+        assert "worker 0" in text and "total" in text
+
+    def test_row_time_lookup(self, sequential):
+        row = sequential.rows[0]
+        assert row.time_for("trojan") == dict(row.resim_times)["trojan"]
+        with pytest.raises(KeyError):
+            row.time_for("nonexistent")
+
+    def test_summaries_per_solver(self, sequential):
+        summaries = fig10_summaries(sequential.rows)
+        assert set(summaries) == {"superlu", "pangulu"}
+        for s in summaries.values():
+            assert s["matrices"] == COUNT
+            assert np.all(s["speedups"] > 0)
+
+    def test_sweep_row_is_plain_data(self, sequential):
+        row = sequential.rows[0]
+        assert isinstance(row, SweepRow)
+        assert isinstance(row.resim_times, tuple)
+
+
+class TestWorkItems:
+    def test_fig10_items_ship_specs_not_matrices(self, items):
+        # pickled work items must stay tiny — matrices rebuild in-worker
+        assert all(not hasattr(it.entry, "matrix") for it in items)
+        assert len(pickle.dumps(items)) < 20_000
+
+    def test_materialized_entry_has_matrix(self, items):
+        entry = items[0].materialized()
+        assert isinstance(entry, SuiteEntry)
+        assert entry.matrix.nnz > 0
+
+    def test_solver_kwargs_applied(self):
+        entry = suite_collection(count=1, base_size=80)[0]
+        small = run_cell(SweepItem(
+            index=0, entry=entry, solver="pangulu",
+            solver_kwargs=(("block_size", 8),)))
+        large = run_cell(SweepItem(
+            index=0, entry=entry, solver="pangulu",
+            solver_kwargs=(("block_size", 64),)))
+        assert small.tasks > large.tasks
