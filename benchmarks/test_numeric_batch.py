@@ -1,0 +1,115 @@
+"""Batched-numeric microbench: pooled arena + stacked kernel groups.
+
+Measures the claim of the batched execution path directly: running each
+launch as stacked kernel groups (``REPRO_BATCH_KERNELS=1``, the default)
+factorises at least 2x faster than the per-task oracle path on a
+many-small-tiles matrix — the regime the paper's Batch stage targets —
+while producing bit-identical factors.
+
+Writes a machine-readable summary to ``benchmarks/results/``
+(``BENCH_numeric.json``) so the CI smoke job can upload it as an
+artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import pathlib
+import time
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.matrices import poisson2d
+from repro.solvers import PanguLUSolver, SuperLUSolver
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def _numeric_seconds(solver_cls, a, batch_kernels, reps=2, **kwargs):
+    """Best-of-``reps`` wall time of the numeric phase (scheduler loop +
+    factor extraction), plus the last result for equality checks."""
+    best = math.inf
+    result = None
+    for _ in range(reps):
+        solver = solver_cls(a, scheduler="trojan",
+                            batch_kernels=batch_kernels,
+                            analysis_cache=None, **kwargs)
+        result = solver.factorize()
+        best = min(best, result.phase_seconds["numeric"])
+    return best, result
+
+
+def _same_factors(x, y):
+    return (np.array_equal(x.L.indptr, y.L.indptr)
+            and np.array_equal(x.L.indices, y.L.indices)
+            and np.array_equal(x.L.data, y.L.data)
+            and np.array_equal(x.U.indptr, y.U.indptr)
+            and np.array_equal(x.U.indices, y.U.indices)
+            and np.array_equal(x.U.data, y.U.data))
+
+
+def test_numeric_batch(emit, benchmark):
+    nx = max(12, int(round(24 * math.sqrt(BENCH_SCALE))))
+    a = poisson2d(nx)
+
+    configs = [
+        # (label, solver class, kwargs) — the first row is the
+        # acceptance config: sparse tiles, tiny blocks, huge task count
+        (f"pangulu sparse b8 poisson2d({nx})", PanguLUSolver,
+         dict(block_size=8)),
+        (f"superlu dense poisson2d({nx})", SuperLUSolver,
+         dict(max_supernode=8, merge_schur=False)),
+    ]
+
+    rows = []
+    entries = []
+    for label, cls, kwargs in configs:
+        batch_s, res_on = _numeric_seconds(cls, a, True, **kwargs)
+        pertask_s, res_off = _numeric_seconds(cls, a, False, **kwargs)
+        assert _same_factors(res_on, res_off), \
+            f"batched factors diverge from per-task on {label}"
+        n_tasks = res_on.dag.n_tasks
+        speedup = pertask_s / batch_s
+        rows.append([label, n_tasks, pertask_s * 1e3, batch_s * 1e3,
+                     round(speedup, 2)])
+        entries.append({
+            "config": label,
+            "n_tasks": n_tasks,
+            "launches": res_on.schedule.kernel_count,
+            "pertask_seconds": pertask_s,
+            "batch_seconds": batch_s,
+            "speedup": speedup,
+        })
+
+    emit("numeric_batch", format_table(
+        ["config", "tasks", "per-task (ms)", "batched (ms)", "speedup"],
+        rows,
+        title="Numeric factorisation wall time: per-task oracle vs "
+              "batched kernel groups (trojan)",
+    ))
+
+    summary = {
+        "configs": entries,
+        "speedup": entries[0]["speedup"],
+        "bench_scale": BENCH_SCALE,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_numeric.json").write_text(
+        json.dumps(summary, indent=1), encoding="utf-8")
+
+    # the acceptance bar only binds at full scale: tiny matrices have
+    # too few tasks per launch to amortise the batching bookkeeping
+    if entries[0]["n_tasks"] >= 5000:
+        assert entries[0]["speedup"] >= 2.0, \
+            f"batched numeric only {entries[0]['speedup']:.2f}x faster " \
+            f"on {entries[0]['n_tasks']} tasks"
+
+    benchmark.pedantic(
+        lambda: PanguLUSolver(a, block_size=8, scheduler="trojan",
+                              batch_kernels=True,
+                              analysis_cache=None).factorize(),
+        rounds=1, iterations=1)

@@ -42,13 +42,60 @@ class ReplayBackend:
 
     def __init__(self, stats: dict[int, KernelStats]):
         self._stats = stats
-        self._flops_arr: np.ndarray | None = None
-        self._bytes_arr: np.ndarray | None = None
-        self._have: np.ndarray | None = None
+        self._flops_arr = np.empty(0, dtype=np.int64)
+        self._bytes_arr = np.empty(0, dtype=np.int64)
+        self._have = np.empty(0, dtype=bool)
+        # sorted-by-tid snapshot of the stats dict, built on first use
+        self._tids_sorted: np.ndarray | None = None
+        self._flops_by_tid: np.ndarray | None = None
+        self._bytes_by_tid: np.ndarray | None = None
+        self.rebuilds = 0
 
     def run_task(self, task: Task, atomic: bool) -> KernelStats:
         """Return the recorded stats for this task id."""
         return self._stats[task.tid]
+
+    def _ensure_arrays(self, n: int) -> None:
+        """Grow the tid-indexed gather arrays to cover ``n`` tasks.
+
+        Growth is incremental: the existing prefix is copied and only the
+        stats with tids in the new ``[old, n)`` range are scattered in
+        (vectorized via a one-time sorted snapshot of the dict), so
+        several engines of different DAG sizes sharing one backend cost
+        one small extension each instead of a full O(S) Python rebuild
+        per size change.  ``rebuilds`` counts the extensions.
+        """
+        if self._flops_arr.size >= n:
+            return
+        if self._tids_sorted is None:
+            count = len(self._stats)
+            tids = np.fromiter(self._stats.keys(), dtype=np.int64,
+                               count=count)
+            order = np.argsort(tids)
+            self._tids_sorted = tids[order]
+            self._flops_by_tid = np.fromiter(
+                (s.flops for s in self._stats.values()), dtype=np.int64,
+                count=count)[order]
+            self._bytes_by_tid = np.fromiter(
+                (s.bytes for s in self._stats.values()), dtype=np.int64,
+                count=count)[order]
+        old = self._flops_arr.size
+        flops = np.zeros(n, dtype=np.int64)
+        nbytes = np.zeros(n, dtype=np.int64)
+        have = np.zeros(n, dtype=bool)
+        flops[:old] = self._flops_arr
+        nbytes[:old] = self._bytes_arr
+        have[:old] = self._have
+        lo = int(np.searchsorted(self._tids_sorted, old))
+        hi = int(np.searchsorted(self._tids_sorted, n))
+        fresh = self._tids_sorted[lo:hi]
+        flops[fresh] = self._flops_by_tid[lo:hi]
+        nbytes[fresh] = self._bytes_by_tid[lo:hi]
+        have[fresh] = True
+        self._flops_arr = flops
+        self._bytes_arr = nbytes
+        self._have = have
+        self.rebuilds += 1
 
     def batch_stats(self, tids: np.ndarray, atomic: np.ndarray,
                     arrays) -> tuple[int, int]:
@@ -57,16 +104,7 @@ class ReplayBackend:
         Raises ``KeyError`` like :meth:`run_task` if a requested task has
         no recorded stats.
         """
-        if self._flops_arr is None or self._flops_arr.size < arrays.nnz.size:
-            n = arrays.nnz.size
-            self._flops_arr = np.zeros(n, dtype=np.int64)
-            self._bytes_arr = np.zeros(n, dtype=np.int64)
-            self._have = np.zeros(n, dtype=bool)
-            for tid, s in self._stats.items():
-                if tid < n:
-                    self._flops_arr[tid] = s.flops
-                    self._bytes_arr[tid] = s.bytes
-                    self._have[tid] = True
+        self._ensure_arrays(arrays.nnz.size)
         if not self._have[tids].all():
             missing = int(tids[~self._have[tids]][0])
             raise KeyError(missing)
@@ -171,20 +209,24 @@ class Executor:
         """
         if not tasks:
             raise ValueError("cannot launch an empty batch")
-        # detect in-batch write conflicts among Schur updates
-        targets: dict[tuple[int, int], int] = {}
-        for task in tasks:
-            if task.type == TaskType.SSSSM:
-                targets[(task.i, task.j)] = targets.get((task.i, task.j), 0) + 1
+        # detect in-batch write conflicts among Schur updates (vectorized:
+        # encode SSSSM targets as flat ids, mark duplicated ids atomic)
+        n = len(tasks)
+        atomic_flags = np.zeros(n, dtype=bool)
+        ssssm = np.fromiter((t.type == TaskType.SSSSM for t in tasks),
+                            dtype=bool, count=n)
+        if ssssm.any():
+            ti = np.fromiter((t.i for t in tasks), dtype=np.int64, count=n)
+            tj = np.fromiter((t.j for t in tasks), dtype=np.int64, count=n)
+            flat = ti[ssssm] * (int(tj[ssssm].max()) + 1) + tj[ssssm]
+            _, inverse, counts = np.unique(flat, return_inverse=True,
+                                           return_counts=True)
+            atomic_flags[ssssm] = counts[inverse] > 1
         mapping = BlockTaskMapping.build(tasks)
         launch = KernelLaunch()
         types = {t.name: 0 for t in TaskType}
-        for task in tasks:
-            atomic = (
-                task.type == TaskType.SSSSM
-                and targets[(task.i, task.j)] > 1
-            )
-            stats = self._backend.run_task(task, atomic)
+        for idx, task in enumerate(tasks):
+            stats = self._backend.run_task(task, bool(atomic_flags[idx]))
             launch.add_task(task.cuda_blocks, stats.flops, stats.bytes,
                             task.shared_mem_bytes)
             types[task.type.name] += 1
@@ -206,10 +248,12 @@ class Executor:
         :class:`~repro.core.arena.ScheduleArena`.
 
         Write-conflict detection, resource totals and the block→task
-        layout all come from array operations; backends exposing
+        layout all come from array operations.  Backends exposing
         ``batch_stats`` (replay/estimate) avoid the per-task call
-        entirely, while numeric backends still execute each task's
-        arithmetic with the identical atomic flags.
+        entirely; backends exposing ``run_batch_tasks`` (the numeric
+        engine) execute the launch as batched kernel groups with the
+        identical atomic flags; anything else falls back to one
+        ``run_task`` call per task.
         """
         if not len(tids):
             raise ValueError("cannot launch an empty batch")
@@ -226,6 +270,9 @@ class Executor:
             atomic[ssssm] = counts[inverse] > 1
         if hasattr(self._backend, "batch_stats"):
             flops, nbytes = self._backend.batch_stats(tids, atomic, arrays)
+        elif hasattr(self._backend, "run_batch_tasks"):
+            flops, nbytes = self._backend.run_batch_tasks(tids, atomic,
+                                                          arrays)
         else:
             flops = 0
             nbytes = 0

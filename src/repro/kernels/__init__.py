@@ -24,6 +24,13 @@ from repro.kernels.tilekernels import (
     geesm_kernel,
     ssssm_kernel,
 )
+from repro.kernels.batched import (
+    batch_kernels_enabled,
+    batched_geesm,
+    batched_ssssm,
+    batched_ssssm_products,
+    batched_tstrf,
+)
 from repro.kernels.reference_lu import ReferenceLUResult, reference_lu
 from repro.kernels.flops import (
     getrf_flops_dense,
@@ -45,6 +52,11 @@ __all__ = [
     "tstrf_kernel",
     "geesm_kernel",
     "ssssm_kernel",
+    "batch_kernels_enabled",
+    "batched_geesm",
+    "batched_ssssm",
+    "batched_ssssm_products",
+    "batched_tstrf",
     "ReferenceLUResult",
     "reference_lu",
     "getrf_flops_dense",

@@ -1,0 +1,166 @@
+"""Batched (stacked) tile kernels — the Executor's single-launch groups.
+
+The paper's Batch stage packs many same-type tasks into one kernel
+launch.  In NumPy terms that means operating on ``(B, m, n)`` stacks
+instead of one ``(m, n)`` tile at a time: SSSSM groups become one
+stacked ``np.matmul`` over ``(B, m, k) @ (B, k, n)``, and TSTRF/GEESM
+groups run the triangular recurrence once across the whole stack with a
+matching ``(B, m, m)`` stack of diagonal tiles (a multi-RHS solve over
+many independent panels — grouping needs only a common *shape class*,
+not a common diagonal).
+
+Bit-identical-to-serial is a hard invariant (the same one the paper
+tests for its schedulers): ``np.matmul`` over 3-D stacks executes the
+identical 2-D core per slice as the per-tile kernels, and the stacked
+triangular recurrences below perform literally the same
+``b[r] -= l[r, :r] @ b[:r]`` / ``b[:, c] -= b[:, :c] @ u[:c, c]``
+per-slice dataflow as :mod:`repro.kernels.dense`, just hoisted over the
+batch axis (a 1-D operand promotes to the same ``(1, r)`` / ``(c, 1)``
+core matmul performs on the explicit stacked slices).  The differential
+suite (``tests/test_batched_kernels.py``) checks factors *and* per-task
+:class:`~repro.kernels.tilekernels.KernelStats` to the bit.
+
+Every function returns per-task int64 stat arrays using the exact
+accounting formulas of :mod:`repro.kernels.tilekernels`, vectorized over
+the batch axis — including the float ``avg``-nonzeros factor of the
+sparse triangular solves, reproduced with the same operation order and
+truncation.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.kernels.flops import (
+    gemm_flops_dense,
+    trsm_flops_dense,
+)
+
+_FALSY = frozenset({"0", "false", "off", "no", ""})
+
+
+def batch_kernels_enabled() -> bool:
+    """Whether batched kernel groups are on (``REPRO_BATCH_KERNELS``).
+
+    Defaults to on; set ``REPRO_BATCH_KERNELS=0`` to force the per-task
+    oracle path everywhere (the differential-testing baseline).
+    """
+    return os.environ.get("REPRO_BATCH_KERNELS", "1").strip().lower() \
+        not in _FALSY
+
+
+def _stack_nnz(stack: np.ndarray) -> np.ndarray:
+    """Per-slice nonzero counts of a ``(B, m, n)`` stack, int64."""
+    return np.count_nonzero(stack, axis=(1, 2)).astype(np.int64)
+
+
+def batched_ssssm_products(lstack: np.ndarray, ustack: np.ndarray,
+                           sparse: bool = False
+                           ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Stacked Schur products ``L[b] @ U[b]`` plus order-independent stats.
+
+    Returns ``(products, flops, base_bytes_words)`` where
+    ``base_bytes_words[b]`` is the part of the touched-nonzero count that
+    does not depend on the target tile's post-update state (the caller
+    adds the target term: once for plain updates, twice for atomic ones,
+    exactly as :func:`repro.kernels.tilekernels.ssssm_kernel` counts).
+
+    Splitting product computation from application is what makes atomic
+    (same-target) updates batchable: products depend only on factor
+    tiles that are final before the launch, so they can be computed in
+    one stacked matmul and then applied serially in batch order —
+    bit-identical to the per-task execution, including the
+    intermediate-state byte accounting.
+    """
+    if sparse:
+        # 2·Σₖ nnz(col k of L)·nnz(row k of U), per slice
+        c = np.count_nonzero(lstack, axis=1).astype(np.int64)
+        r = np.count_nonzero(ustack, axis=2).astype(np.int64)
+        flops = 2 * np.einsum("bk,bk->b", c, r)
+        base = _stack_nnz(lstack) + _stack_nnz(ustack)
+    else:
+        b, mi, mk = lstack.shape
+        mj = ustack.shape[2]
+        flops = np.full(b, gemm_flops_dense(mi, mk, mj), dtype=np.int64)
+        base = np.full(b, mi * mj + mi * mk + mk * mj, dtype=np.int64)
+    return np.matmul(lstack, ustack), flops, base
+
+
+def batched_ssssm(tstack: np.ndarray, lstack: np.ndarray,
+                  ustack: np.ndarray, sparse: bool = False
+                  ) -> tuple[np.ndarray, np.ndarray]:
+    """Stacked Schur update ``T[b] −= L[b] @ U[b]`` in place.
+
+    Targets within one call must be distinct tiles (conflict-free
+    group); same-target updates go through
+    :func:`batched_ssssm_products` plus a serial ordered apply instead,
+    because their byte accounting depends on the intermediate state.
+    """
+    prods, flops, base = batched_ssssm_products(lstack, ustack, sparse)
+    tstack -= prods
+    if sparse:
+        base = base + _stack_nnz(tstack)
+    return flops, 8 * base
+
+
+def batched_geesm(bstack: np.ndarray, dstack: np.ndarray,
+                  sparse: bool = False) -> tuple[np.ndarray, np.ndarray]:
+    """Stacked GEESM: solve ``L[b] X = B[b]`` in place for every slice,
+    each against its own packed-LU diagonal tile.
+
+    Same row-sequential forward substitution as
+    :func:`repro.kernels.dense.trsm_lower_unit`, hoisted over the batch
+    axis: step r is one ``(B, 1, r) @ (B, r, n)`` matmul instead of B
+    separate ``(r,) @ (r, n)`` products.
+    """
+    m = dstack.shape[1]
+    if bstack.shape[1] != m:
+        raise ValueError("dimension mismatch in batched_geesm")
+    nnz_in = _stack_nnz(bstack)  # bytes count actual nonzeros either way
+    for r in range(1, m):
+        bstack[:, r, :] -= np.matmul(dstack[:, r:r + 1, :r],
+                                     bstack[:, :r, :])[:, 0, :]
+    if sparse:
+        avg = np.count_nonzero(np.tril(dstack, -1), axis=(1, 2)) / m
+        nnz_out = _stack_nnz(bstack)
+        flops = ((2 * nnz_out) * avg).astype(np.int64)
+        touched = nnz_out
+    else:
+        b, _, n = bstack.shape
+        flops = np.full(b, trsm_flops_dense(m, n), dtype=np.int64)
+        touched = np.full(b, m * n, dtype=np.int64)
+    return flops, 8 * (nnz_in + touched + _stack_nnz(dstack))
+
+
+def batched_tstrf(bstack: np.ndarray, dstack: np.ndarray,
+                  sparse: bool = False) -> tuple[np.ndarray, np.ndarray]:
+    """Stacked TSTRF: solve ``X U[b] = B[b]`` in place for every slice,
+    each against its own packed-LU diagonal tile.
+
+    Same column-sequential substitution as
+    :func:`repro.kernels.dense.trsm_upper`, hoisted over the batch axis.
+    """
+    m = dstack.shape[1]
+    if bstack.shape[2] != m:
+        raise ValueError("dimension mismatch in batched_tstrf")
+    nnz_in = _stack_nnz(bstack)  # bytes count actual nonzeros either way
+    for c in range(m):
+        if c:
+            bstack[:, :, c] -= np.matmul(bstack[:, :, :c],
+                                         dstack[:, :c, c][:, :, None])[:, :, 0]
+        d = dstack[:, c, c]
+        if np.any(d == 0.0):
+            raise ZeroDivisionError(f"zero diagonal at column {c}")
+        bstack[:, :, c] /= d[:, None]
+    if sparse:
+        avg = np.count_nonzero(np.triu(dstack), axis=(1, 2)) / m
+        nnz_out = _stack_nnz(bstack)
+        flops = ((2 * nnz_out) * avg).astype(np.int64)
+        touched = nnz_out
+    else:
+        b, rows, _ = bstack.shape
+        flops = np.full(b, trsm_flops_dense(m, rows), dtype=np.int64)
+        touched = np.full(b, rows * m, dtype=np.int64)
+    return flops, 8 * (nnz_in + touched + _stack_nnz(dstack))

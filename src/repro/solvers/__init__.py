@@ -22,6 +22,7 @@ from repro.solvers.engine import (
     resimulate,
     scale_stats,
 )
+from repro.solvers.tilepool import TileArena, TileViews
 from repro.solvers.cpu import cpu_makespan
 from repro.solvers.superlu import SuperLUSolver
 from repro.solvers.pangulu import PanguLUSolver
@@ -42,6 +43,8 @@ SOLVER_REGISTRY = {
 __all__ = [
     "NumericEngine",
     "NumericBackend",
+    "TileArena",
+    "TileViews",
     "FactorizationResult",
     "resimulate",
     "scale_stats",

@@ -44,6 +44,13 @@ class BlockSolverBase:
         :data:`~repro.core.analysis_cache.DEFAULT_ANALYSIS_CACHE`;
         pass an :class:`~repro.core.analysis_cache.AnalysisCache` for an
         isolated cache, or ``None`` to disable caching entirely.
+    batch_kernels:
+        Batched kernel groups in the numeric launches (stacked GEMMs and
+        multi-RHS triangular solves; see
+        :meth:`repro.solvers.engine.NumericEngine.run_batch_tasks`).
+        ``None`` (default) reads the ``REPRO_BATCH_KERNELS`` environment
+        knob (on unless ``0``); the factors and recorded stats are
+        bit-identical either way.
     """
 
     solver_name = "block-lu"
@@ -53,6 +60,7 @@ class BlockSolverBase:
     def __init__(self, a: CSRMatrix, ordering: str = "mindeg",
                  gpu: GPUSpec = RTX5090, scheduler: str | None = None,
                  analysis_cache: "AnalysisCache | str | None" = "default",
+                 batch_kernels: bool | None = None,
                  **sched_kwargs):
         self.a = a
         self.ordering = ordering
@@ -61,6 +69,7 @@ class BlockSolverBase:
         self.analysis_cache = (DEFAULT_ANALYSIS_CACHE
                                if analysis_cache == "default"
                                else analysis_cache)
+        self.batch_kernels = batch_kernels
         self.sched_kwargs = sched_kwargs
         self.result: FactorizationResult | None = None
 
@@ -115,7 +124,8 @@ class BlockSolverBase:
         t1 = time.perf_counter()
         part, fill = self._build_partition(permuted)
         engine = NumericEngine(permuted, part, sparse_tiles=self.sparse_tiles,
-                               fill=fill, cache=self.analysis_cache)
+                               fill=fill, cache=self.analysis_cache,
+                               batch_kernels=self.batch_kernels)
         self._engine = engine
         self._perm = perm
         t2 = time.perf_counter()

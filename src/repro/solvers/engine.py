@@ -23,6 +23,13 @@ from repro.core.baselines import make_scheduler
 from repro.core.task import Task, TaskType
 from repro.gpusim.costmodel import GPUCostModel
 from repro.gpusim.specs import GPUSpec
+from repro.kernels.batched import (
+    batch_kernels_enabled,
+    batched_geesm,
+    batched_ssssm,
+    batched_ssssm_products,
+    batched_tstrf,
+)
 from repro.kernels.tilekernels import (
     KernelStats,
     geesm_kernel,
@@ -30,6 +37,7 @@ from repro.kernels.tilekernels import (
     ssssm_kernel,
     tstrf_kernel,
 )
+from repro.solvers.tilepool import TileArena, TileViews
 from repro.sparse import COOMatrix, CSRMatrix, triangular_solve
 from repro.sparse.blocking import Partition, split_tiles
 from repro.symbolic import block_fill, symbolic_fill
@@ -55,11 +63,18 @@ class NumericEngine:
         sparsity-pattern digest — repeated-pattern factorisations skip
         the whole symbolic analysis.  Distributed runs (``owner_of``)
         bypass the cache because tile ownership is baked into the DAG.
+    batch_kernels:
+        Execute conflict-free same-type task groups as stacked batched
+        kernels (:mod:`repro.kernels.batched`) instead of one Python
+        call per task.  ``None`` (default) reads the
+        ``REPRO_BATCH_KERNELS`` environment knob (on unless ``0``).
+        The per-task path stays available as the differential-testing
+        oracle; both paths produce bit-identical factors and stats.
     """
 
     def __init__(self, a: CSRMatrix, part: Partition,
                  sparse_tiles: bool = False, owner_of=None, fill=None,
-                 cache=None):
+                 cache=None, batch_kernels: bool | None = None):
         if a.nrows != a.ncols:
             raise ValueError("LU factorisation requires a square matrix")
         if part.n != a.nrows:
@@ -91,26 +106,13 @@ class NumericEngine:
             )
         else:
             self.bfill, self.tile_nnz, self.dag = _block_analysis()
-        self.tiles: dict[tuple[int, int], np.ndarray] = {}
-        self._init_tiles()
-
-    def _init_tiles(self) -> None:
-        """Allocate dense scratch for every structurally-nonzero factor
-        tile and stamp the input values."""
-        sizes = self.part.sizes()
-        a_tiles = split_tiles(self.a, self.part)
-        nb = self.part.nblocks
-        bi_idx, bj_idx = np.nonzero(self.bfill)
-        for bi, bj in zip(bi_idx, bj_idx):
-            self.tiles[(int(bi), int(bj))] = np.zeros(
-                (int(sizes[bi]), int(sizes[bj]))
-            )
-        for key, tile in a_tiles.items():
-            if key not in self.tiles:
-                raise AssertionError(
-                    f"input tile {key} outside predicted block fill"
-                )
-            self.tiles[key][:] = tile.to_dense()
+        self.batch_kernels = (
+            batch_kernels_enabled() if batch_kernels is None
+            else bool(batch_kernels)
+        )
+        self.arena = TileArena(part, self.bfill)
+        self.tiles = TileViews(self.arena)
+        self.arena.stamp(a)
 
     def reset_values(self, a: CSRMatrix) -> None:
         """Re-stamp tile values for a matrix with the *same* pattern.
@@ -128,10 +130,7 @@ class NumericEngine:
                 "refactorisation requires an identical sparsity pattern"
             )
         self.a = a
-        for tile in self.tiles.values():
-            tile[:] = 0.0
-        for key, tile in split_tiles(a, self.part).items():
-            self.tiles[key][:] = tile.to_dense()
+        self.arena.stamp(a)
 
     # ------------------------------------------------------------------
     # ExecutionBackend protocol
@@ -151,6 +150,138 @@ class NumericEngine:
                             self.tiles[(task.i, task.k)],
                             self.tiles[(task.k, task.j)],
                             sparse=sp, atomic=atomic)
+
+    def run_batch_tasks(self, tids: np.ndarray, atomic: np.ndarray,
+                        arrays) -> tuple[np.ndarray, np.ndarray]:
+        """Execute one launch's tasks with batched kernel groups.
+
+        Partitions the batch by (task type, tile shape class): TSTRF and
+        GEESM groups become one stacked multi-RHS triangular solve (each
+        slice against its own diagonal tile); conflict-free SSSSM groups
+        become one stacked ``np.matmul``; atomic (same-target) SSSSMs
+        get their products from a stacked matmul too, applied serially
+        in batch order because their byte accounting depends on the
+        intermediate target state; only GETRF tasks run through the
+        per-task kernel.  Returns per-task ``(flops, bytes)`` int64
+        arrays aligned with ``tids``.
+
+        Safe because co-batched tasks are mutually independent (no DAG
+        edges within a ready set), so they touch pairwise-disjoint tiles
+        except for same-target SSSSMs — whose ordered serial apply
+        replays exactly the per-task execution.  Stack slices run the
+        identical 2-D kernel cores, so factors and stats are
+        bit-identical to the per-task path.
+        """
+        tids = np.asarray(tids, dtype=np.int64)
+        n = tids.size
+        flops = np.zeros(n, dtype=np.int64)
+        nbytes = np.zeros(n, dtype=np.int64)
+        sp = self.sparse_tiles
+        code = arrays.type_code[tids]
+        kk = arrays.k[tids]
+        ii = arrays.i[tids]
+        jj = arrays.j[tids]
+        if not self.batch_kernels or n == 1:
+            straggler = np.ones(n, dtype=bool)
+        else:
+            straggler = code == int(TaskType.GETRF)
+        for idx in np.flatnonzero(straggler):
+            c = int(code[idx])
+            k = int(kk[idx])
+            if c == int(TaskType.GETRF):
+                s = getrf_kernel(self.tiles[(k, k)], sparse=sp)
+            elif c == int(TaskType.TSTRF):
+                s = tstrf_kernel(self.tiles[(int(ii[idx]), k)],
+                                 self.tiles[(k, k)], sparse=sp)
+            elif c == int(TaskType.GEESM):
+                s = geesm_kernel(self.tiles[(k, int(jj[idx]))],
+                                 self.tiles[(k, k)], sparse=sp)
+            else:
+                i, j = int(ii[idx]), int(jj[idx])
+                s = ssssm_kernel(self.tiles[(i, j)], self.tiles[(i, k)],
+                                 self.tiles[(k, j)], sparse=sp,
+                                 atomic=bool(atomic[idx]))
+            flops[idx] = s.flops
+            nbytes[idx] = s.bytes
+        if straggler.all():
+            return flops, nbytes
+        arena = self.arena
+        pools = arena.pools
+
+        def _solve_groups(sel, row_idx, col_idx, solver):
+            """Group panel tiles by shape class; one stacked triangular
+            solve per group, each slice against its own diagonal tile."""
+            cls, slots = arena.locate(row_idx[sel], col_idx[sel])
+            dcls, dslots = arena.locate(kk[sel], kk[sel])
+            for c in np.unique(cls):
+                mask = cls == c
+                mem = sel[mask]
+                pool = pools[int(c)]
+                gslots = slots[mask]
+                stack = pool[gslots]
+                dstack = pools[int(dcls[mask][0])][dslots[mask]]
+                f, b = solver(stack, dstack, sp)
+                pool[gslots] = stack
+                flops[mem] = f
+                nbytes[mem] = b
+
+        sel = np.flatnonzero(code == int(TaskType.TSTRF))
+        if sel.size:
+            _solve_groups(sel, ii, kk, batched_tstrf)
+        sel = np.flatnonzero(code == int(TaskType.GEESM))
+        if sel.size:
+            _solve_groups(sel, kk, jj, batched_geesm)
+        sel = np.flatnonzero(code == int(TaskType.SSSSM))
+        if sel.size:
+            tcls, tslots = arena.locate(ii[sel], jj[sel])
+            lcls, lslots = arena.locate(ii[sel], kk[sel])
+            ucls, uslots = arena.locate(kk[sel], jj[sel])
+            # (target class, L class) pins all three tile shapes
+            key = tcls * len(pools) + lcls
+            atom = atomic[sel]
+            for kv in np.unique(key):
+                mask = (key == kv) & ~atom
+                if not mask.any():
+                    continue
+                mem = sel[mask]
+                tpool = pools[int(tcls[mask][0])]
+                lpool = pools[int(lcls[mask][0])]
+                upool = pools[int(ucls[mask][0])]
+                gslots = tslots[mask]
+                tstack = tpool[gslots]
+                f, b = batched_ssssm(tstack, lpool[lslots[mask]],
+                                     upool[uslots[mask]], sp)
+                tpool[gslots] = tstack
+                flops[mem] = f
+                nbytes[mem] = b
+            apos = np.flatnonzero(atom)
+            if apos.size:
+                # atomic (same-target) updates: products in stacked
+                # matmuls per group, then a serial ordered apply that
+                # replays the per-task batch order — bit-identical,
+                # including the intermediate-state byte accounting
+                prods: list = [None] * apos.size
+                base = np.zeros(apos.size, dtype=np.int64)
+                akey = key[apos]
+                for kv in np.unique(akey):
+                    mask = akey == kv
+                    gpos = apos[mask]
+                    lpool = pools[int(lcls[gpos[0]])]
+                    upool = pools[int(ucls[gpos[0]])]
+                    p, f, b0 = batched_ssssm_products(
+                        lpool[lslots[gpos]], upool[uslots[gpos]], sp)
+                    flops[sel[gpos]] = f
+                    base[mask] = b0
+                    for row, pos in enumerate(np.flatnonzero(mask)):
+                        prods[pos] = p[row]
+                tviews = [pools[c][s] for c, s
+                          in zip(tcls[apos].tolist(), tslots[apos].tolist())]
+                after = np.empty(apos.size, dtype=np.int64)
+                for pos, view in enumerate(tviews):
+                    view -= prods[pos]
+                    after[pos] = np.count_nonzero(view)
+                nbytes[sel[apos]] = 8 * (base + (2 * after if sp else after))
+        return flops, nbytes
 
     # ------------------------------------------------------------------
     # factor extraction
@@ -204,13 +335,39 @@ class NumericBackend:
 
     def __init__(self, engine: NumericEngine):
         self._engine = engine
-        self.stats: dict[int, KernelStats] = {}
+        self._stats: dict[int, KernelStats] = {}
+        self._pending: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+
+    @property
+    def stats(self) -> dict[int, KernelStats]:
+        """Per-task stats dict, materialised lazily from batch buffers.
+
+        Batched launches record raw per-task arrays; turning 20k+ of
+        those rows into :class:`KernelStats` objects happens here, in
+        bulk, on first access — off the numeric execution hot path."""
+        if self._pending:
+            stats = self._stats
+            for tids, flops, nbytes in self._pending:
+                for tid, f, b in zip(tids.tolist(), flops.tolist(),
+                                     nbytes.tolist()):
+                    stats[tid] = KernelStats(flops=f, bytes=b)
+            self._pending.clear()
+        return self._stats
 
     def run_task(self, task: Task, atomic: bool) -> KernelStats:
         """Execute numerically and memoise the exact stats."""
         stats = self._engine.run_task(task, atomic)
-        self.stats[task.tid] = stats
+        self._stats[task.tid] = stats
         return stats
+
+    def run_batch_tasks(self, tids: np.ndarray, atomic: np.ndarray,
+                        arrays) -> tuple[int, int]:
+        """Execute one launch via the engine's batched kernel groups,
+        buffering per-task stats, and return the launch totals."""
+        flops, nbytes = self._engine.run_batch_tasks(tids, atomic, arrays)
+        self._pending.append((np.asarray(tids, dtype=np.int64).copy(),
+                              flops, nbytes))
+        return int(flops.sum()), int(nbytes.sum())
 
 
 @dataclass

@@ -24,6 +24,11 @@ class PanguLUSolver(BlockSolverBase):
     block_size:
         Tile size.  The paper tunes the real solver to 512; the scaled
         default here is 64 (DESIGN.md §3).
+
+    Numeric launches execute as batched kernel groups by default
+    (stacked sparse-block GEMMs, the analogue of PanguLU's batched-BLAS
+    mode); disable with ``batch_kernels=False`` or
+    ``REPRO_BATCH_KERNELS=0`` (see :class:`BlockSolverBase`).
     """
 
     solver_name = "pangulu"

@@ -36,6 +36,10 @@ class SuperLUSolver(BlockSolverBase):
         Apply the §3.5.1 integration when scheduling with the Trojan
         Horse: all Schur updates of one supernode row fuse into a single
         larger GEMM task, taming the CPU-side aggregation bottleneck.
+        Fused tasks run through the per-task backend; pass
+        ``merge_schur=False`` (or a non-trojan scheduler) to execute
+        launches as batched kernel groups instead (``batch_kernels`` /
+        ``REPRO_BATCH_KERNELS``, see :class:`BlockSolverBase`).
     """
 
     solver_name = "superlu"
