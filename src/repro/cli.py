@@ -8,6 +8,8 @@ Examples::
     python -m repro scaleout --matrix cage13 --cluster h100 --policy trojan
     python -m repro compare --matrix c-71 --solver superlu
     python -m repro sweep --count 24 --workers 4
+    python -m repro verify
+    python -m repro verify --case tests/golden/adversarial/reversed_dep.json
 """
 
 from __future__ import annotations
@@ -148,6 +150,57 @@ def cmd_scaleout(args) -> int:
     return 0
 
 
+def cmd_verify(args) -> int:
+    """Static verification gate: linter, golden schedules, case files.
+
+    Exit status: 0 when everything verifies clean, 1 when violations are
+    found, 2 when an adversarial case misses one of its declared
+    ``expect`` codes (a silently weakened analyzer).
+    """
+    import pathlib
+
+    from repro.verify.lint import lint_paths
+
+    if args.case:
+        from repro.verify.cases import run_case_file
+        exit_code = 0
+        for path in args.case:
+            report, expected, missed = run_case_file(path)
+            print(report.describe())
+            if report.violations:
+                tally = report.counts_by_code()
+                print("  codes: " + ", ".join(
+                    f"{c}×{tally[c]}" for c in sorted(tally)))
+            if missed:
+                print(f"  MISSED expected codes: {', '.join(missed)}")
+                exit_code = 2
+            elif report.violations:
+                exit_code = max(exit_code, 1)
+        return exit_code
+
+    total = 0
+    if not args.no_lint:
+        roots = args.lint_root or [
+            str(pathlib.Path(__file__).resolve().parent)]
+        report = lint_paths(roots, subject="lint:" + ",".join(roots))
+        print(report.describe())
+        total += len(report.violations)
+    if not args.no_golden:
+        from repro.verify.golden import DEFAULT_GOLDEN_PATH, \
+            verify_golden_file
+        golden = pathlib.Path(args.golden) if args.golden \
+            else DEFAULT_GOLDEN_PATH
+        if golden.exists():
+            report = verify_golden_file(golden)
+            print(report.describe())
+            total += len(report.violations)
+        elif args.golden:
+            raise SystemExit(f"golden file not found: {golden}")
+        else:
+            print(f"goldens: skipped ({golden} not present)")
+    return 1 if total else 0
+
+
 def cmd_sweep(args) -> int:
     """Run the Figure-10 collection sweep, optionally multiprocess."""
     if args.workers is not None and args.workers < 1:
@@ -210,6 +263,24 @@ def build_parser() -> argparse.ArgumentParser:
                    help="process-pool size (default: $REPRO_SWEEP_WORKERS "
                         f"or {default_workers()})")
     w.add_argument("--gpu", default="a100", choices=sorted(GPU_PRESETS))
+
+    v = sub.add_parser(
+        "verify",
+        help="static verification: repo linter, golden schedules, cases")
+    v.add_argument("--lint-root", action="append", default=None,
+                   help="file/directory to lint (repeatable; default: the "
+                        "installed repro package)")
+    v.add_argument("--no-lint", action="store_true",
+                   help="skip the AST linter")
+    v.add_argument("--golden", default=None,
+                   help="golden schedule file to statically verify "
+                        "(default: tests/golden/trojan_batches.json when "
+                        "present)")
+    v.add_argument("--no-golden", action="store_true",
+                   help="skip golden schedule verification")
+    v.add_argument("--case", action="append", default=None,
+                   help="adversarial case JSON to run (repeatable; runs "
+                        "only the cases)")
     return p
 
 
@@ -222,6 +293,7 @@ def main(argv=None) -> int:
         "compare": cmd_compare,
         "scaleout": cmd_scaleout,
         "sweep": cmd_sweep,
+        "verify": cmd_verify,
     }
     return handlers[args.command](args)
 

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.cluster.grid import ProcessGrid
+from repro.cluster.memory import USABLE_FRACTION, factor_bytes_per_rank
 from repro.cluster.network import ClusterSpec
 from repro.core.collector import Collector
 from repro.core.container import Container
@@ -29,6 +30,7 @@ from repro.core.executor import ExecutionBackend, Executor
 from repro.core.prioritizer import Prioritizer
 from repro.core.task import TaskType
 from repro.gpusim.costmodel import GPUCostModel, KernelLaunch
+from repro.verify.trace import DistTrace, SendRecord
 
 POLICIES = ("serial", "streams", "trojan", "dmdas")
 """Per-process scheduling policies supported by the simulator."""
@@ -50,6 +52,9 @@ class DistributedResult:
     messages: int
     comm_bytes: int
     timeline: list[tuple[int, float, float, list[int]]] | None = None
+    #: Verifier-ready communication trace (``record_trace=True`` runs);
+    #: feed it to :class:`repro.verify.trace.TraceVerifier`.
+    trace: DistTrace | None = None
 
     def __post_init__(self) -> None:
         if self.nprocs < 1:
@@ -277,6 +282,7 @@ class DistributedSimulator:
                  cluster: ClusterSpec, nprocs: int, policy: str = "serial",
                  grid: ProcessGrid | None = None,
                  record_timeline: bool = False,
+                 record_trace: bool = False,
                  msg_scale: float = 1.0):
         if policy not in POLICIES:
             raise ValueError(f"unknown policy {policy!r}; choose from {POLICIES}")
@@ -291,6 +297,10 @@ class DistributedSimulator:
         self.policy = policy
         self.grid = grid or ProcessGrid(nprocs)
         self.record_timeline = record_timeline
+        #: record per-task start/done times and the cross-rank send log
+        #: into a :class:`~repro.verify.trace.DistTrace` for static
+        #: verification (small bookkeeping overhead, off by default)
+        self.record_trace = record_trace
         #: message-size multiplier; work-extrapolated studies (Table 7 /
         #: Figure 12 regimes) scale tile bytes quadratically in the linear
         #: tile-scale factor (DESIGN.md §3)
@@ -334,6 +344,11 @@ class DistributedSimulator:
         makespan = 0.0
         total_flops = 0
         timeline = [] if self.record_timeline else None
+        tracing = self.record_trace
+        if tracing:
+            task_t_start = np.full(dag.n_tasks, -1.0)
+            task_t_done = np.full(dag.n_tasks, -1.0)
+            send_log: list[SendRecord] = []
 
         def propagate(t_done: float, tids: list[int]) -> None:
             nonlocal messages, comm_bytes
@@ -347,6 +362,10 @@ class DistributedSimulator:
                         messages += 1
                         comm_bytes += out_bytes
                     arr = t_done + delay
+                    if src != dst and tracing:
+                        send_log.append(SendRecord(
+                            tid=tid, succ=int(s), src=src, dst=dst,
+                            t_send=t_done, t_recv=arr, nbytes=out_bytes))
                     if arr > arrival[s]:
                         arrival[s] = arr
                     pred[s] -= 1
@@ -370,6 +389,9 @@ class DistributedSimulator:
                 total_flops += flops
                 if timeline is not None:
                     timeline.append((rank, start, end, list(tids)))
+                if tracing:
+                    task_t_start[tids] = start
+                    task_t_done[tids] = end
                 push_event(end, "done", rank, tids)
             wake = proc.next_wake(t)
             if wake is not None and wake < wake_pending[rank]:
@@ -379,6 +401,28 @@ class DistributedSimulator:
         if done_tasks != dag.n_tasks:
             raise AssertionError(
                 f"distributed sim finished {done_tasks}/{dag.n_tasks} tasks"
+            )
+        trace = None
+        if tracing:
+            indptr, indices = dag.successor_csr()
+            producer = np.repeat(np.arange(dag.n_tasks, dtype=np.int64),
+                                 np.diff(indptr))
+            edges = np.stack(
+                [producer, indices.astype(np.int64)], axis=1
+            ) if indices.size else np.empty((0, 2), dtype=np.int64)
+            task_rank = np.fromiter(
+                (self.owner_of_task(t) for t in range(dag.n_tasks)),
+                dtype=np.int64, count=dag.n_tasks)
+            trace = DistTrace(
+                nprocs=self.nprocs,
+                rank=task_rank,
+                t_start=task_t_start,
+                t_done=task_t_done,
+                edges=edges,
+                sends=send_log,
+                per_rank_bytes=factor_bytes_per_rank(dag, self.grid),
+                mem_budget_bytes=USABLE_FRACTION
+                * self.cluster.gpu.memory_gb * 1e9,
             )
         return DistributedResult(
             cluster=self.cluster.name,
@@ -393,4 +437,5 @@ class DistributedSimulator:
             messages=messages,
             comm_bytes=comm_bytes,
             timeline=timeline,
+            trace=trace,
         )

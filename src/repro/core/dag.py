@@ -258,6 +258,15 @@ class TaskDAG:
             object.__setattr__(self, "_cp_cache", cp)
         return self._cp_cache
 
+    def is_verified_acyclic(self) -> bool:
+        """Cheap acyclicity witness: a cached critical-path labeling
+        exists, meaning a full Kahn peel already covered every task.
+
+        ``False`` only means "not proven yet" — the static verifier uses
+        this to skip re-peeling DAGs a scheduler has already processed.
+        """
+        return self._cp_cache is not None
+
 
 def _sparse_getrf_est(m: int, nnz: int) -> int:
     density = min(1.0, nnz / max(1, m * m))

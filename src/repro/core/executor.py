@@ -21,6 +21,7 @@ import numpy as np
 from repro.core.task import Task, TaskType
 from repro.gpusim.costmodel import GPUCostModel, KernelLaunch
 from repro.kernels.tilekernels import KernelStats
+from repro.verify.hazards import batch_atomic_flags
 
 
 class ExecutionBackend(Protocol):
@@ -199,29 +200,35 @@ class Executor:
     def __init__(self, model: GPUCostModel, backend: ExecutionBackend):
         self._model = model
         self._backend = backend
+        # reusable hazard-flag scratch, grown as needed so the hot
+        # run_batch_ids path never allocates a fresh flag array per launch
+        self._atomic_scratch = np.zeros(0, dtype=bool)
+
+    def _atomic_out(self, n: int) -> np.ndarray:
+        """The scratch flag buffer, grown to cover ``n`` batch members."""
+        if self._atomic_scratch.size < n:
+            self._atomic_scratch = np.zeros(max(n, 64), dtype=bool)
+        return self._atomic_scratch
 
     def run_batch(self, tasks: list[Task], t_start: float) -> BatchRecord:
         """Execute ``tasks`` as one kernel starting at ``t_start``.
 
         SSSSM tasks sharing a target tile within the batch are flagged
-        atomic (write-conflict accounting).  Returns the batch record with
-        simulated start/end times.
+        atomic (write-conflict accounting), via the shared hazard kernel
+        the static verifier also uses (:mod:`repro.verify.hazards`).
+        Returns the batch record with simulated start/end times.
         """
         if not tasks:
             raise ValueError("cannot launch an empty batch")
-        # detect in-batch write conflicts among Schur updates (vectorized:
-        # encode SSSSM targets as flat ids, mark duplicated ids atomic)
+        # in-batch write conflicts among Schur updates: encode SSSSM
+        # targets as flat tile ids (-1 = no atomic-capable target)
         n = len(tasks)
-        atomic_flags = np.zeros(n, dtype=bool)
-        ssssm = np.fromiter((t.type == TaskType.SSSSM for t in tasks),
-                            dtype=bool, count=n)
-        if ssssm.any():
-            ti = np.fromiter((t.i for t in tasks), dtype=np.int64, count=n)
-            tj = np.fromiter((t.j for t in tasks), dtype=np.int64, count=n)
-            flat = ti[ssssm] * (int(tj[ssssm].max()) + 1) + tj[ssssm]
-            _, inverse, counts = np.unique(flat, return_inverse=True,
-                                           return_counts=True)
-            atomic_flags[ssssm] = counts[inverse] > 1
+        max_j = max(t.j for t in tasks) + 1
+        target = np.fromiter(
+            (t.i * max_j + t.j if t.type == TaskType.SSSSM else -1
+             for t in tasks),
+            dtype=np.int64, count=n)
+        atomic_flags = batch_atomic_flags(target, out=self._atomic_out(n))
         mapping = BlockTaskMapping.build(tasks)
         launch = KernelLaunch()
         types = {t.name: 0 for t in TaskType}
@@ -260,14 +267,9 @@ class Executor:
         tids = np.asarray(tids, dtype=np.int64)
         arrays = arena.arrays
         # in-batch write conflicts among Schur updates on one target tile
-        target = arrays.target[tids]
-        ssssm = target >= 0
-        atomic = np.zeros(tids.size, dtype=bool)
-        if ssssm.any():
-            _, inverse, counts = np.unique(
-                target[ssssm], return_inverse=True, return_counts=True
-            )
-            atomic[ssssm] = counts[inverse] > 1
+        # (shared hazard kernel; allocation-free via the scratch buffer)
+        atomic = batch_atomic_flags(arrays.target[tids],
+                                    out=self._atomic_out(tids.size))
         if hasattr(self._backend, "batch_stats"):
             flops, nbytes = self._backend.batch_stats(tids, atomic, arrays)
         elif hasattr(self._backend, "run_batch_tasks"):

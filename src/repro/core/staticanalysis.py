@@ -5,6 +5,11 @@ nodes from the task DAG and recording how many tasks could run in
 parallel at each step.  :func:`parallelism_profile` reproduces exactly
 that peel; :func:`dag_statistics` condenses it into the summary values a
 violin plot encodes (max width, mean width, distribution quantiles).
+
+Schedule validation (:func:`validate_schedule`) is a thin wrapper over
+the shared static verifier in :mod:`repro.verify.schedule` — one
+implementation serves the test suites, the Executor's hazard scan and
+the ``python -m repro verify`` CLI.
 """
 
 from __future__ import annotations
@@ -14,38 +19,50 @@ import numpy as np
 from repro.core.dag import TaskDAG
 
 
-def validate_schedule(dag: TaskDAG, batches) -> None:
-    """Assert a schedule is a correct execution of the DAG.
+def validate_schedule(dag: TaskDAG, batches, strict: bool = True,
+                      gpu=None, hazards: bool = True):
+    """Statically verify a schedule is a correct execution of the DAG.
 
-    Checks that every task runs exactly once and that no task starts
-    before all of its predecessors' batches have finished.  Raises
-    ``AssertionError`` with a description otherwise — used by the test
-    suite and available to users instrumenting their own schedulers.
+    Runs the full :class:`~repro.verify.schedule.ScheduleVerifier`
+    battery — completeness (every task exactly once), dependency order,
+    intra-batch tile hazards, DAG acyclicity, and (when ``gpu`` is
+    given) Collector capacity budgets — and reports **every** violation,
+    not just the first.
 
     Parameters
     ----------
     dag:
         The task DAG.
     batches:
-        Iterable of :class:`~repro.core.executor.BatchRecord`.
+        Iterable of :class:`~repro.core.executor.BatchRecord`, or plain
+        task-id sequences (taken to execute in list order).
+    strict:
+        When ``True`` (the default, matching the historical behaviour),
+        raise ``AssertionError`` describing all violations; when
+        ``False``, return the report for the caller to inspect.
+    gpu:
+        Optional GPU spec enabling the capacity-budget check.
+    hazards:
+        Set ``False`` for DAGs whose tile coordinates are synthetic
+        metadata (random property-test DAGs) rather than real access
+        sets — the dependency edges alone then define correctness.
+
+    Returns
+    -------
+    VerificationReport
+        The structured violation report (empty when the schedule is
+        valid).
     """
-    start = {}
-    end = {}
-    for b in batches:
-        for tid in b.task_ids:
-            if tid in end:
-                raise AssertionError(f"task {tid} executed twice")
-            start[tid] = b.t_start
-            end[tid] = b.t_end
-    missing = set(range(dag.n_tasks)) - set(end)
-    if missing:
-        raise AssertionError(f"{len(missing)} tasks never executed")
-    for t in range(dag.n_tasks):
-        for s in dag.successors[t]:
-            if start[s] < end[t] - 1e-12:
-                raise AssertionError(
-                    f"task {s} started before its dependency {t} finished"
-                )
+    # imported here, not at module level: repro.verify.schedule itself
+    # imports repro.core.dag, so a top-level import would be circular
+    # whichever package loads first
+    from repro.verify.schedule import ScheduleVerifier
+
+    report = ScheduleVerifier(dag, gpu=gpu).verify_batches(
+        batches, hazards=hazards)
+    if strict:
+        report.raise_if_violations()
+    return report
 
 
 def parallelism_profile(dag: TaskDAG) -> np.ndarray:

@@ -1,0 +1,51 @@
+"""``repro.verify`` — static schedule/race verification + repo linting.
+
+Three analyzers prove safety properties *without executing anything*:
+
+* :class:`~repro.verify.schedule.ScheduleVerifier` — batch sequences
+  against a :class:`~repro.core.dag.TaskDAG`: dependency order,
+  intra-batch write/read tile hazards (honouring the atomic-SSSSM
+  serial-apply rule), Collector capacity budgets, completeness and DAG
+  cycles.
+* :class:`~repro.verify.trace.TraceVerifier` — distributed comm traces:
+  every send delivered, no early tile consumption, per-rank memory
+  budgets.
+* :func:`~repro.verify.lint.lint_paths` — AST lint pass enforcing the
+  repo's own invariants (vectorized hot modules, picklable sweep
+  recipes, immutable cached analysis, exhaustive TaskType dispatch).
+
+All three emit :class:`~repro.verify.report.VerificationReport` and are
+wired into ``python -m repro verify`` plus the CI ``verify`` job.
+
+Import-order note: :mod:`repro.core.executor` imports the leaf
+:mod:`repro.verify.hazards`, so this ``__init__`` pulls the leaf modules
+first and never imports :mod:`repro.verify.golden`/``cases`` (they need
+the fully built :mod:`repro.core`).
+"""
+
+from repro.verify.report import Violation, VerificationReport
+from repro.verify.hazards import batch_atomic_flags
+from repro.verify.schedule import ScheduleVerifier, verify_schedule
+from repro.verify.trace import (
+    DistTrace,
+    SendRecord,
+    TraceVerifier,
+    verify_trace,
+)
+from repro.verify.lint import lint_file, lint_paths, lint_source, RULES
+
+__all__ = [
+    "Violation",
+    "VerificationReport",
+    "batch_atomic_flags",
+    "ScheduleVerifier",
+    "verify_schedule",
+    "DistTrace",
+    "SendRecord",
+    "TraceVerifier",
+    "verify_trace",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "RULES",
+]

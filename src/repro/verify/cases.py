@@ -1,0 +1,123 @@
+"""Seeded adversarial verification cases (``tests/golden/adversarial``).
+
+Each case is a small JSON file describing either a deliberately broken
+schedule (a named golden configuration plus a deterministic mutation of
+its batch sequence) or a hand-written distributed trace.  The CLI runs
+them through the matching verifier and must exit non-zero — they are
+the negative half of the CI ``verify`` gate, proving the analyzers
+actually catch what they claim to.
+
+Schedule case::
+
+    {"kind": "schedule",
+     "golden_config": "poisson256_b8_trojan",
+     "mutation": "reverse_batches",
+     "expect": ["DEP_ORDER"]}
+
+Trace case::
+
+    {"kind": "trace",
+     "expect": ["TRACE_UNMATCHED_SEND"],
+     "trace": {"nprocs": 2, "tasks": [...], "edges": [...],
+               "sends": [...]}}
+
+``expect`` lists violation codes the case must trigger; the CLI checks
+them so a silently weakened check fails the build too.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.core.task import TaskType
+from repro.verify.golden import schedule_for_config
+from repro.verify.report import VerificationReport
+from repro.verify.schedule import ScheduleVerifier
+from repro.verify.trace import DistTrace, TraceVerifier
+
+
+def _mutate_reverse(batches, dag):
+    """Run the whole schedule backwards: every edge flips."""
+    return batches[::-1]
+
+
+def _mutate_drop_last(batches, dag):
+    """Silently drop the final batch's tasks."""
+    return batches[:-1]
+
+
+def _mutate_write_conflict(batches, dag):
+    """Co-schedule a GETRF with an SSSSM targeting its diagonal tile.
+
+    Picks the smallest step ``k`` that has both, moves the GETRF into
+    the SSSSM's batch (removing it from its own), so the pair writes
+    tile ``(k, k)`` inside one launch without the all-SSSSM atomic
+    escape — a non-atomic same-target pair.
+    """
+    ssssm_targets = {}
+    for t in dag.tasks:
+        if t.type == TaskType.SSSSM and t.i == t.j:
+            ssssm_targets.setdefault(t.i, t.tid)
+    getrfs = {t.k: t.tid for t in dag.tasks if t.type == TaskType.GETRF}
+    k = min(k for k in getrfs if k in ssssm_targets)
+    g_tid, s_tid = getrfs[k], ssssm_targets[k]
+    out = [list(b) for b in batches]
+    for b in out:
+        if g_tid in b:
+            b.remove(g_tid)
+    for b in out:
+        if s_tid in b:
+            b.append(g_tid)
+            break
+    return [b for b in out if b]
+
+
+def _mutate_merge_all(batches, dag):
+    """Collapse the whole schedule into one launch — blows every
+    Collector budget (and most dependencies)."""
+    return [[tid for b in batches for tid in b]]
+
+
+MUTATIONS = {
+    "reverse_batches": _mutate_reverse,
+    "drop_last_batch": _mutate_drop_last,
+    "co_schedule_write_conflict": _mutate_write_conflict,
+    "merge_all_batches": _mutate_merge_all,
+}
+
+
+def load_case(path) -> dict:
+    """Read one adversarial case file."""
+    return json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
+
+
+def run_case(case: dict, subject: str = "case") -> VerificationReport:
+    """Execute one case through the matching verifier."""
+    kind = case.get("kind")
+    if kind == "schedule":
+        dag, gpu, records = schedule_for_config(case["golden_config"])
+        batches = [sorted(int(t) for t in b.task_ids) for b in records]
+        mutation = case.get("mutation")
+        if mutation is not None:
+            batches = MUTATIONS[mutation](batches, dag)
+        return ScheduleVerifier(dag, gpu=gpu).verify_batches(
+            batches, subject=subject)
+    if kind == "trace":
+        trace = DistTrace.from_dict(case["trace"])
+        return TraceVerifier(trace).verify(subject=subject)
+    raise ValueError(f"unknown case kind {kind!r}")
+
+
+def run_case_file(path) -> tuple:
+    """Run a case file; returns ``(report, expected_codes, missed)``.
+
+    ``missed`` lists the declared ``expect`` codes the verifier failed
+    to raise — non-empty means the analyzer has lost a check.
+    """
+    case = load_case(path)
+    report = run_case(case, subject=f"case:{pathlib.Path(path).name}")
+    expected = list(case.get("expect", []))
+    found = report.codes()
+    missed = [c for c in expected if c not in found]
+    return report, expected, missed

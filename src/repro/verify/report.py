@@ -1,0 +1,155 @@
+"""Structured verification results: violations instead of bare asserts.
+
+Every analyzer in :mod:`repro.verify` emits a :class:`VerificationReport`
+— a list of :class:`Violation` records, each carrying a stable machine
+code (see the ``*_...`` constants below), the offending task/batch ids or
+file/line, and a human-readable message.  Callers that want the old
+fail-fast behaviour call :meth:`VerificationReport.raise_if_violations`;
+everything else (the CLI, CI, tests asserting on specific codes) can
+inspect the full set of problems in one pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+# -- schedule verifier codes -------------------------------------------
+DAG_CYCLE = "DAG_CYCLE"
+TASK_MISSING = "TASK_MISSING"
+TASK_DUPLICATE = "TASK_DUPLICATE"
+TASK_UNKNOWN = "TASK_UNKNOWN"
+DEP_ORDER = "DEP_ORDER"
+HAZARD_WW = "HAZARD_WW"
+HAZARD_RW = "HAZARD_RW"
+CAPACITY_BLOCKS = "CAPACITY_BLOCKS"
+CAPACITY_SHMEM = "CAPACITY_SHMEM"
+
+# -- trace verifier codes ----------------------------------------------
+TRACE_UNMATCHED_SEND = "TRACE_UNMATCHED_SEND"
+TRACE_MISSING_SEND = "TRACE_MISSING_SEND"
+TRACE_EARLY_CONSUME = "TRACE_EARLY_CONSUME"
+TRACE_MEM_BUDGET = "TRACE_MEM_BUDGET"
+TRACE_TASK_MISSING = "TRACE_TASK_MISSING"
+
+# -- lint codes --------------------------------------------------------
+LINT_NNZ_LOOP = "LINT_NNZ_LOOP"
+LINT_UNPICKLABLE_RECIPE = "LINT_UNPICKLABLE_RECIPE"
+LINT_CACHE_MUTATION = "LINT_CACHE_MUTATION"
+LINT_TASKTYPE_DISPATCH = "LINT_TASKTYPE_DISPATCH"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One verified-to-be-wrong fact about a schedule, trace or file.
+
+    Attributes
+    ----------
+    code:
+        Stable machine identifier (one of the module constants).
+    message:
+        Human-readable description.
+    task_ids, batch_ids:
+        Offending task/batch ids (schedule and trace analyzers).
+    rank:
+        Offending process rank (trace analyzer), if applicable.
+    file, line:
+        Offending source location (linter), if applicable.
+    """
+
+    code: str
+    message: str
+    task_ids: tuple = ()
+    batch_ids: tuple = ()
+    rank: int | None = None
+    file: str | None = None
+    line: int | None = None
+
+    def location(self) -> str:
+        """Compact source/ids prefix for report listings."""
+        if self.file is not None:
+            return f"{self.file}:{self.line}"
+        parts = []
+        if self.batch_ids:
+            parts.append(f"batch {','.join(map(str, self.batch_ids))}")
+        if self.task_ids:
+            parts.append(f"task {','.join(map(str, self.task_ids))}")
+        if self.rank is not None:
+            parts.append(f"rank {self.rank}")
+        return " ".join(parts)
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of one analyzer run (or several, merged).
+
+    Attributes
+    ----------
+    subject:
+        What was verified (schedule name, trace name, lint root).
+    violations:
+        Every violation found — analyzers never stop at the first.
+    checks:
+        Names of the checks that actually ran (a capacity check skipped
+        for lack of a GPU spec is *not* listed, so "no violations" can
+        be read precisely).
+    """
+
+    subject: str
+    violations: list = field(default_factory=list)
+    checks: tuple = ()
+
+    @property
+    def ok(self) -> bool:
+        """True when no check found a violation."""
+        return not self.violations
+
+    def add(self, violation: Violation) -> None:
+        """Record one violation."""
+        self.violations.append(violation)
+
+    def merge(self, other: "VerificationReport") -> None:
+        """Fold another report's findings into this one."""
+        self.violations.extend(other.violations)
+        self.checks = tuple(dict.fromkeys(self.checks + other.checks))
+
+    def codes(self) -> set:
+        """The distinct violation codes present."""
+        return {v.code for v in self.violations}
+
+    def by_code(self, code: str) -> list:
+        """Violations carrying one specific code."""
+        return [v for v in self.violations if v.code == code]
+
+    def counts_by_code(self) -> dict:
+        """Violation tally keyed by code."""
+        out: dict = {}
+        for v in self.violations:
+            out[v.code] = out.get(v.code, 0) + 1
+        return out
+
+    def describe(self, max_lines: int = 40) -> str:
+        """Multi-line listing of every violation (capped for readability)."""
+        if self.ok:
+            return f"{self.subject}: ok ({len(self.checks)} checks)"
+        lines = [f"{self.subject}: {len(self.violations)} violation(s)"]
+        for v in self.violations[:max_lines]:
+            loc = v.location()
+            lines.append(f"  [{v.code}] {loc + ': ' if loc else ''}{v.message}")
+        if len(self.violations) > max_lines:
+            lines.append(f"  ... and {len(self.violations) - max_lines} more")
+        return "\n".join(lines)
+
+    def raise_if_violations(self) -> None:
+        """Fail-fast wrapper: ``AssertionError`` listing every violation."""
+        if not self.ok:
+            raise AssertionError(self.describe())
+
+    def summary(self) -> dict:
+        """Compact dict for tables and JSON artifacts."""
+        return {
+            "subject": self.subject,
+            "ok": self.ok,
+            "checks": list(self.checks),
+            "violations": len(self.violations),
+            "by_code": self.counts_by_code(),
+        }

@@ -10,6 +10,10 @@ ids) plus the simulated kernel time.  ``tests/test_golden_schedule.py``
 asserts the production scheduler still reproduces them bit-for-bit, so
 any rewrite of the hot loop (e.g. the vectorized ScheduleArena) is
 checked against the original per-task implementation.
+
+The configuration list itself lives in :mod:`repro.verify.golden`, so
+``python -m repro verify`` can rebuild each DAG and statically verify
+the checked-in batch sequences against the same definitions.
 """
 
 from __future__ import annotations
@@ -17,36 +21,12 @@ from __future__ import annotations
 import json
 import pathlib
 
-from repro.core import build_block_dag, make_scheduler
+from repro.core import make_scheduler
 from repro.core.executor import EstimateBackend
-from repro.gpusim import GPUCostModel, RTX5060TI, RTX5090
-from repro.matrices import circuit_like, poisson2d
-from repro.ordering import compute_ordering
-from repro.sparse import permute_symmetric, uniform_partition
-from repro.symbolic import block_fill
+from repro.gpusim import GPUCostModel
+from repro.verify.golden import golden_configs
 
 GOLDEN_DIR = pathlib.Path(__file__).parent
-
-
-def golden_configs():
-    """The (name, dag, gpu, kwargs) tuples the goldens cover."""
-    def dag_of(a, bs, sparse):
-        b = permute_symmetric(a, compute_ordering(a, "mindeg"))
-        part = uniform_partition(a.nrows, bs)
-        return build_block_dag(block_fill(b, part), part, sparse_tiles=sparse)
-
-    circuit = dag_of(circuit_like(180, seed=2), 12, True)
-    poisson = dag_of(poisson2d(16), 8, False)
-    wide = dag_of(circuit_like(240, seed=7), 16, True)
-    return [
-        ("circuit180_b12_trojan", circuit, RTX5090, {}),
-        ("circuit180_b12_trojan_slack2", circuit, RTX5090,
-         {"critical_slack": 2}),
-        ("poisson256_b8_trojan", poisson, RTX5090, {}),
-        ("poisson256_b8_trojan_small_gpu", poisson, RTX5060TI, {}),
-        ("circuit240_b16_trojan_cap24", wide, RTX5090,
-         {"max_batch_tasks": 24}),
-    ]
 
 
 def schedule_record(dag, gpu, **kwargs) -> dict:

@@ -86,8 +86,10 @@ def test_scheduler_invariants(name, params):
         name, dag, EstimateBackend(), GPUCostModel(gpu)
     ).run()
 
-    # (1) + (2): exactly-once execution, precedence respected
-    validate_schedule(dag, result.batches)
+    # (1) + (2): exactly-once execution, precedence respected.  Tile
+    # hazard checks are off: these DAGs carry random tile coordinates
+    # with random edges, so tile overlap does not imply a dependency.
+    validate_schedule(dag, result.batches, hazards=False)
 
     # (4): the accounting matches the batches
     assert result.task_count == dag.n_tasks
@@ -121,7 +123,7 @@ def test_trojan_respects_max_batch_tasks(params):
         "trojan", dag, EstimateBackend(), GPUCostModel(RTX5090),
         max_batch_tasks=3,
     ).run()
-    validate_schedule(dag, result.batches)
+    validate_schedule(dag, result.batches, hazards=False)
     assert max(len(b.task_ids) for b in result.batches) <= 3
 
 

@@ -1,0 +1,205 @@
+"""repro.verify.lint: every rule fires, waivers suppress, repo is clean."""
+
+from __future__ import annotations
+
+import pathlib
+import textwrap
+
+import pytest
+
+from repro.verify import report as rep
+from repro.verify.lint import (
+    HOT_NNZ_MODULES,
+    RULES,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def _codes(source, path="<string>", **kw):
+    return [v.code for v in lint_source(textwrap.dedent(source),
+                                        path=path, **kw)]
+
+
+class TestPerNnzLoop:
+    HOT = "src/repro/sparse/somefile.py"
+
+    def test_range_over_indptr(self):
+        src = """
+        def rowsum(m):
+            out = 0.0
+            for p in range(m.indptr[3], m.indptr[4]):
+                out += m.data[p]
+            return out
+        """
+        assert _codes(src, path=self.HOT) == [rep.LINT_NNZ_LOOP]
+
+    def test_range_over_nnz_count(self):
+        src = """
+        def scan(tile_nnz):
+            for p in range(tile_nnz):
+                pass
+        """
+        assert _codes(src, path=self.HOT) == [rep.LINT_NNZ_LOOP]
+
+    def test_iterating_indices_attr(self):
+        src = """
+        def walk(m):
+            for c in m.indices:
+                yield c
+        """
+        assert _codes(src, path=self.HOT) == [rep.LINT_NNZ_LOOP]
+
+    def test_zip_of_indices_and_data(self):
+        src = """
+        def pairs(m):
+            for c, v in zip(m.indices, m.data):
+                yield c, v
+        """
+        assert _codes(src, path=self.HOT) == [rep.LINT_NNZ_LOOP]
+
+    def test_row_loop_is_fine(self):
+        src = """
+        def diag(m, n):
+            for i in range(n):
+                yield m.diagonal(i)
+        """
+        assert _codes(src, path=self.HOT) == []
+
+    def test_cold_module_exempt(self):
+        src = """
+        def debug_dump(m):
+            for c in m.indices:
+                print(c)
+        """
+        assert _codes(src, path="src/repro/analysis/dump.py") == []
+
+    def test_waiver_on_line_above(self):
+        src = """
+        def rowsum(m):
+            # verify: waive(per-nnz-loop)
+            for c in m.indices:
+                pass
+        """
+        assert _codes(src, path=self.HOT) == []
+
+
+class TestUnpicklableRecipe:
+    def test_lambda_in_recipe_ctor(self):
+        src = "item = SweepItem(kind='x', make=lambda: 1)\n"
+        assert _codes(src) == [rep.LINT_UNPICKLABLE_RECIPE]
+
+    def test_lambda_in_submit(self):
+        src = "fut = pool.submit(lambda: run(item))\n"
+        assert _codes(src) == [rep.LINT_UNPICKLABLE_RECIPE]
+
+    def test_named_function_is_fine(self):
+        src = "item = SweepItem(kind='x', make=build_poisson)\n"
+        assert _codes(src) == []
+
+
+class TestCacheMutation:
+    def test_method_mutation(self):
+        src = """
+        def load(cache, a):
+            fill = cache.fill_for(a, build)
+            fill.rows.append(1)
+        """
+        assert _codes(src) == [rep.LINT_CACHE_MUTATION]
+
+    def test_attribute_assignment(self):
+        src = """
+        def load(cache, a):
+            fill = cache.fill_for(a, build)
+            fill.nnz = 0
+        """
+        assert _codes(src) == [rep.LINT_CACHE_MUTATION]
+
+    def test_tuple_unpacking_tracked(self):
+        src = """
+        def load(cache, a):
+            bfill, nnz, dag = cache.block_analysis_for(a, part, build)
+            nnz[0] = 7
+        """
+        assert _codes(src) == [rep.LINT_CACHE_MUTATION]
+
+    def test_reading_is_fine(self):
+        src = """
+        def load(cache, a):
+            fill = cache.fill_for(a, build)
+            return fill.nnz + 1
+        """
+        assert _codes(src) == []
+
+    def test_taint_is_scoped_per_function(self):
+        src = """
+        def load(cache, a):
+            fill = cache.fill_for(a, build)
+            return fill
+
+        def other(fill):
+            fill.rows.append(1)
+        """
+        assert _codes(src) == []
+
+
+class TestTaskTypeDispatch:
+    def test_partial_table_flagged(self):
+        src = "D = {TaskType.GETRF: f, TaskType.TSTRF: g}\n"
+        found = lint_source(src)
+        assert [v.code for v in found] == [rep.LINT_TASKTYPE_DISPATCH]
+        assert "GEESM" in found[0].message
+        assert "SSSSM" in found[0].message
+
+    def test_full_table_fine(self):
+        src = ("D = {TaskType.GETRF: f, TaskType.TSTRF: g,\n"
+               "     TaskType.GEESM: h, TaskType.SSSSM: k}\n")
+        assert _codes(src) == []
+
+    def test_non_tasktype_dict_ignored(self):
+        assert _codes("D = {'a': 1}\n") == []
+
+
+class TestDriver:
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(ValueError, match="unknown lint rules"):
+            lint_source("x = 1\n", rules={"no-such-rule"})
+
+    def test_rule_subset(self):
+        src = "D = {TaskType.GETRF: f}\nitem = SweepItem(f=lambda: 1)\n"
+        only = lint_source(src, rules={"tasktype-dispatch"})
+        assert [v.code for v in only] == [rep.LINT_TASKTYPE_DISPATCH]
+
+    def test_lint_paths_walks_directories(self, tmp_path):
+        pkg = tmp_path / "sparse"
+        pkg.mkdir()
+        (pkg / "bad.py").write_text(
+            "def f(m):\n    for c in m.indices:\n        pass\n",
+            encoding="utf-8")
+        (pkg / "good.py").write_text("x = 1\n", encoding="utf-8")
+        report = lint_paths([str(tmp_path)])
+        assert [v.code for v in report.violations] == [rep.LINT_NNZ_LOOP]
+        assert report.violations[0].file.endswith("bad.py")
+        assert report.violations[0].line == 2
+
+    def test_lint_file(self, tmp_path):
+        f = tmp_path / "x.py"
+        f.write_text("item = SweepItem(f=lambda: 1)\n", encoding="utf-8")
+        assert [v.code for v in lint_file(f)] \
+            == [rep.LINT_UNPICKLABLE_RECIPE]
+
+    def test_repo_source_is_clean(self):
+        report = lint_paths([str(SRC)], subject="lint:src/repro")
+        assert report.ok, report.describe()
+
+    def test_hot_module_set_names_real_paths(self):
+        for frag in HOT_NNZ_MODULES:
+            base = frag.rstrip("/")
+            assert (SRC / base).exists(), frag
+
+    def test_rules_registry_complete(self):
+        assert set(RULES) == {"per-nnz-loop", "unpicklable-recipe",
+                              "cache-mutation", "tasktype-dispatch"}

@@ -1,0 +1,160 @@
+"""TraceVerifier: distsim round-trip plus hand-tampered traces.
+
+A real distributed simulation with ``record_trace=True`` must produce a
+trace the verifier accepts; each targeted tampering (lost send, early
+start, fabricated memory load) must then be caught with its own code.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.cluster import DistributedSimulator, H100_CLUSTER
+from repro.core import build_block_dag
+from repro.core.executor import EstimateBackend
+from repro.matrices import poisson2d
+from repro.sparse import uniform_partition
+from repro.symbolic import block_fill
+from repro.verify import report as rep
+from repro.verify.trace import DistTrace, SendRecord, verify_trace
+
+
+@pytest.fixture(scope="module")
+def dag():
+    a = poisson2d(16)
+    part = uniform_partition(a.nrows, 8)
+    return build_block_dag(block_fill(a, part), part)
+
+
+@pytest.fixture(scope="module")
+def trace(dag):
+    result = DistributedSimulator(
+        dag, EstimateBackend(), H100_CLUSTER, nprocs=4, policy="trojan",
+        record_trace=True,
+    ).run()
+    assert result.trace is not None
+    return result.trace
+
+
+class TestRoundTrip:
+    def test_simulated_trace_is_clean(self, trace):
+        report = verify_trace(trace)
+        assert report.ok, report.describe()
+        assert "memory" in report.checks
+
+    def test_trace_covers_everything(self, dag, trace):
+        assert trace.n_tasks == dag.n_tasks
+        assert (trace.t_start >= 0).all()
+        assert (trace.t_done >= trace.t_start).all()
+        assert trace.nprocs == 4
+        # cross-rank edges exist on a 4-rank grid, so sends were logged
+        cross = trace.rank[trace.edges[:, 0]] != trace.rank[trace.edges[:, 1]]
+        assert cross.any()
+        assert trace.sends
+
+    def test_trace_off_by_default(self, dag):
+        result = DistributedSimulator(
+            dag, EstimateBackend(), H100_CLUSTER, nprocs=2,
+            policy="serial",
+        ).run()
+        assert result.trace is None
+
+
+def _with_sends(trace, sends):
+    return dataclasses.replace(trace, sends=sends)
+
+
+class TestTampering:
+    def test_lost_send(self, trace):
+        victim = trace.sends[0]
+        sends = [dataclasses.replace(victim, t_recv=None)] \
+            + trace.sends[1:]
+        report = verify_trace(_with_sends(trace, sends))
+        assert rep.TRACE_UNMATCHED_SEND in report.codes()
+
+    def test_recv_before_send(self, trace):
+        victim = trace.sends[0]
+        sends = [dataclasses.replace(victim, t_recv=victim.t_send - 1.0)] \
+            + trace.sends[1:]
+        report = verify_trace(_with_sends(trace, sends))
+        assert rep.TRACE_UNMATCHED_SEND in report.codes()
+
+    def test_missing_send_for_edge(self, trace):
+        # drop every send for one cross-rank edge entirely
+        victim = trace.sends[0]
+        sends = [s for s in trace.sends
+                 if (s.tid, s.succ) != (victim.tid, victim.succ)]
+        report = verify_trace(_with_sends(trace, sends))
+        assert rep.TRACE_MISSING_SEND in report.codes()
+
+    def test_early_consume_same_rank(self, trace):
+        same = np.flatnonzero(
+            trace.rank[trace.edges[:, 0]] == trace.rank[trace.edges[:, 1]])
+        prod, cons = (int(x) for x in trace.edges[same[0]])
+        t_start = trace.t_start.copy()
+        # halfway through the producer: strictly before its completion
+        # but still a valid (non-negative) timestamp
+        t_start[cons] = 0.5 * trace.t_done[prod]
+        report = verify_trace(dataclasses.replace(trace, t_start=t_start))
+        assert rep.TRACE_EARLY_CONSUME in report.codes()
+
+    def test_early_consume_cross_rank(self, trace):
+        victim = trace.sends[0]
+        t_start = trace.t_start.copy()
+        t_start[victim.succ] = victim.t_send  # before arrival
+        tampered = dataclasses.replace(trace, t_start=t_start)
+        if victim.t_recv > victim.t_send:
+            report = verify_trace(tampered)
+            assert rep.TRACE_EARLY_CONSUME in report.codes()
+
+    def test_task_never_ran(self, trace):
+        t_start = trace.t_start.copy()
+        t_start[0] = -1.0
+        report = verify_trace(dataclasses.replace(trace, t_start=t_start))
+        assert rep.TRACE_TASK_MISSING in report.codes()
+
+    def test_memory_budget(self, trace):
+        inflated = dataclasses.replace(
+            trace,
+            per_rank_bytes=np.full(trace.nprocs,
+                                   2 * trace.mem_budget_bytes),
+        )
+        report = verify_trace(inflated)
+        over = report.by_code(rep.TRACE_MEM_BUDGET)
+        assert len(over) == trace.nprocs
+        assert {v.rank for v in over} == set(range(trace.nprocs))
+
+
+class TestFromDict:
+    def test_json_round_trip(self):
+        payload = {
+            "nprocs": 2,
+            "tasks": [
+                {"tid": 0, "rank": 0, "t_start": 0.0, "t_done": 1.0},
+                {"tid": 1, "rank": 1, "t_start": 2.0, "t_done": 3.0},
+            ],
+            "edges": [[0, 1]],
+            "sends": [{"tid": 0, "succ": 1, "src": 0, "dst": 1,
+                       "t_send": 1.0, "t_recv": 1.5, "bytes": 128}],
+        }
+        trace = DistTrace.from_dict(payload)
+        assert trace.n_tasks == 2
+        assert trace.sends == [SendRecord(0, 1, 0, 1, 1.0, 1.5, 128)]
+        assert verify_trace(trace).ok
+
+    def test_null_recv_means_undelivered(self):
+        payload = {
+            "nprocs": 2,
+            "tasks": [
+                {"tid": 0, "rank": 0, "t_start": 0.0, "t_done": 1.0},
+                {"tid": 1, "rank": 1, "t_start": 2.0, "t_done": 3.0},
+            ],
+            "edges": [[0, 1]],
+            "sends": [{"tid": 0, "succ": 1, "src": 0, "dst": 1,
+                       "t_send": 1.0, "t_recv": None, "bytes": 128}],
+        }
+        report = verify_trace(DistTrace.from_dict(payload))
+        assert rep.TRACE_UNMATCHED_SEND in report.codes()
