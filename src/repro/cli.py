@@ -6,6 +6,8 @@ Examples::
     python -m repro factor --matrix cage12 --solver pangulu --scheduler trojan
     python -m repro factor --mtx system.mtx --solver superlu --gpu a100 --solve
     python -m repro scaleout --matrix cage13 --cluster h100 --policy trojan
+    python -m repro distsim --matrix c-71 --gpus 4 \\
+        --faults tests/faults/chaos.json --seed 42 --verify
     python -m repro compare --matrix c-71 --solver superlu
     python -m repro sweep --count 24 --workers 4
     python -m repro verify
@@ -150,6 +152,64 @@ def cmd_scaleout(args) -> int:
     return 0
 
 
+def cmd_distsim(args) -> int:
+    """One distributed simulation, optionally with fault injection.
+
+    Records a communication trace whenever it is needed (``--verify``,
+    ``--trace-out`` or ``--out``) and prints its digest — the CI chaos
+    gate compares digests across repeated same-seed runs to prove the
+    fault injection is deterministic.  With ``--verify`` the trace is
+    also run through the TraceVerifier; violations exit 1.
+    """
+    import json
+
+    from repro.cluster import FaultSpec
+    from repro.verify.trace import verify_trace
+
+    a = _load_matrix(args)
+    if args.solver not in ("pangulu", "superlu"):
+        raise SystemExit("distsim supports pangulu and superlu")
+    run = SOLVERS[args.solver](a, ordering=args.ordering,
+                               scheduler="serial").factorize()
+    spec = None
+    if args.faults:
+        spec = FaultSpec.from_json(args.faults)
+        if args.seed is not None:
+            spec = spec.with_seed(args.seed)
+    want_trace = bool(args.verify or args.trace_out or args.out)
+    res = DistributedSimulator(
+        run.dag, ReplayBackend(run.stats), CLUSTERS[args.cluster],
+        args.gpus, args.policy, record_trace=want_trace,
+        faults=spec).run()
+    summary = res.summary()
+    print(format_table(
+        ["metric", "value"],
+        [[k, v] for k, v in summary.items()],
+        title=f"distsim: {args.solver}/{args.policy} on "
+              f"{CLUSTERS[args.cluster].name}"))
+    digest = res.trace.digest() if res.trace is not None else None
+    if digest:
+        print(f"trace digest: {digest}")
+    if args.trace_out:
+        with open(args.trace_out, "w", encoding="utf-8") as fh:
+            json.dump(res.trace.to_dict(), fh)
+        print(f"trace written to {args.trace_out}")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump({
+                "summary": summary,
+                "trace_digest": digest,
+                "faults": None if spec is None else spec.to_dict(),
+            }, fh, indent=1)
+        print(f"summary written to {args.out}")
+    if args.verify:
+        report = verify_trace(res.trace, subject="distsim-trace")
+        print(report.describe())
+        if report.violations:
+            return 1
+    return 0
+
+
 def cmd_verify(args) -> int:
     """Static verification gate: linter, golden schedules, case files.
 
@@ -253,6 +313,26 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("serial", "streams", "trojan"))
     s.add_argument("--gpus", type=int, default=16)
 
+    d = sub.add_parser(
+        "distsim",
+        help="one cluster simulation, optionally fault-injected")
+    common(d)
+    d.add_argument("--cluster", default="h100", choices=sorted(CLUSTERS))
+    d.add_argument("--policy", default="trojan",
+                   choices=("serial", "streams", "trojan", "dmdas"))
+    d.add_argument("--gpus", type=int, default=4)
+    d.add_argument("--faults", default=None,
+                   help="fault-spec JSON file (see tests/faults/)")
+    d.add_argument("--seed", type=int, default=None,
+                   help="override the fault spec's RNG seed")
+    d.add_argument("--trace-out", default=None,
+                   help="write the recorded trace as JSON")
+    d.add_argument("--out", default=None,
+                   help="write summary + trace digest as JSON")
+    d.add_argument("--verify", action="store_true",
+                   help="run the TraceVerifier on the recorded trace "
+                        "(violations exit 1)")
+
     w = sub.add_parser(
         "sweep", help="Figure-10 collection sweep over a worker pool")
     w.add_argument("--count", type=int, default=200,
@@ -292,6 +372,7 @@ def main(argv=None) -> int:
         "factor": cmd_factor,
         "compare": cmd_compare,
         "scaleout": cmd_scaleout,
+        "distsim": cmd_distsim,
         "sweep": cmd_sweep,
         "verify": cmd_verify,
     }

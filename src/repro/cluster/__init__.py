@@ -12,7 +12,10 @@ This package reproduces that environment as a discrete-event simulation:
   (Table 3);
 * :class:`~repro.cluster.distsim.DistributedSimulator` — event-driven
   execution with a per-process scheduler (baseline, streams or Trojan
-  Horse), producing makespans for the Figure-12 strong-scaling study.
+  Horse), producing makespans for the Figure-12 strong-scaling study;
+* :class:`~repro.cluster.faults.FaultSpec` — seeded, reproducible fault
+  injection (lossy links with retransmission, stragglers, rank death +
+  checkpoint recovery) for the CI chaos gate.
 
 Link contention and MPI protocol effects are not modelled (DESIGN.md §3).
 """
@@ -29,9 +32,23 @@ from repro.cluster.network import (
     MI50_CLUSTER,
 )
 from repro.cluster.distsim import DistributedSimulator, DistributedResult
+from repro.cluster.faults import (
+    FaultSpec,
+    FaultStats,
+    LinkFaults,
+    RankDeath,
+    RecordOnceBackend,
+    Straggler,
+)
 from repro.cluster.memory import factor_bytes_per_rank, fits_in_memory
 
 __all__ = [
+    "FaultSpec",
+    "FaultStats",
+    "LinkFaults",
+    "RankDeath",
+    "RecordOnceBackend",
+    "Straggler",
     "ProcessGrid",
     "NetworkModel",
     "ClusterSpec",

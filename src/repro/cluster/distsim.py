@@ -16,10 +16,12 @@ DESIGN.md §3.
 from __future__ import annotations
 
 import heapq
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.cluster.faults import FaultSpec, FaultStats
 from repro.cluster.grid import ProcessGrid
 from repro.cluster.memory import USABLE_FRACTION, factor_bytes_per_rank
 from repro.cluster.network import ClusterSpec
@@ -55,6 +57,8 @@ class DistributedResult:
     #: Verifier-ready communication trace (``record_trace=True`` runs);
     #: feed it to :class:`repro.verify.trace.TraceVerifier`.
     trace: DistTrace | None = None
+    #: Fault accounting (``faults=FaultSpec(...)`` runs only).
+    faults: FaultStats | None = None
 
     def __post_init__(self) -> None:
         if self.nprocs < 1:
@@ -79,8 +83,12 @@ class DistributedResult:
         return float(busy.mean() / busy.max()) if busy.max() > 0 else 1.0
 
     def summary(self) -> dict:
-        """Compact dict for benchmark tables."""
-        return {
+        """Compact dict for benchmark tables.
+
+        Fault-injected runs also carry the fault counters (drops,
+        retransmits, re-executed tasks, …) so CI can assert on them.
+        """
+        out = {
             "cluster": self.cluster,
             "policy": self.policy,
             "gpus": self.nprocs,
@@ -91,6 +99,9 @@ class DistributedResult:
             "comm_MB": self.comm_bytes / 1e6,
             "balance": round(self.load_balance, 3),
         }
+        if self.faults is not None:
+            out.update(self.faults.as_dict())
+        return out
 
 
 class _ProcState:
@@ -98,7 +109,7 @@ class _ProcState:
 
     def __init__(self, rank: int, policy: str, dag: TaskDAG,
                  model: GPUCostModel, backend: ExecutionBackend,
-                 cp: np.ndarray, n_streams: int = 4):
+                 cp: np.ndarray, n_streams: int = 4, slowdown=None):
         self.rank = rank
         self.policy = policy
         self.dag = dag
@@ -107,6 +118,12 @@ class _ProcState:
         self.executor = Executor(model, backend)
         self.kernels = 0
         self.busy = 0.0
+        #: latency stretch ``t -> factor`` (straggler injection); the
+        #: default identity factor keeps fault-free timing bit-exact
+        self.slowdown = slowdown or (lambda _t: 1.0)
+        #: task ids launched but not yet completed (fault path only —
+        #: a rank death loses exactly this set)
+        self.running: set[int] = set()
         if policy == "trojan":
             self.prio = Prioritizer(dag, cp)
             self.container = Container()
@@ -159,10 +176,11 @@ class _ProcState:
             return []
         tids = [heapq.heappop(self.heap)[2]]
         record = self.executor.run_batch([self.dag.tasks[x] for x in tids], t)
-        self.busy_until = record.t_end
-        self.busy += record.duration
+        end = record.t_start + record.duration * self.slowdown(t)
+        self.busy_until = end
+        self.busy += end - record.t_start
         self.kernels += 1
-        return [(record.t_start, record.t_end, tids, record.flops)]
+        return [(record.t_start, end, tids, record.flops)]
 
     def _launch_trojan(self, t: float) -> list[tuple[float, float, list[int], int]]:
         out = []
@@ -178,11 +196,12 @@ class _ProcState:
             start = max(t, self.gpu_free)
             record = self.executor.run_batch(
                 [self.dag.tasks[x] for x in tids], start)
-            self.gpu_free = record.t_end
+            end = record.t_start + record.duration * self.slowdown(t)
+            self.gpu_free = end
             self.inflight += 1
-            self.busy += record.duration
+            self.busy += end - record.t_start
             self.kernels += 1
-            out.append((record.t_start, record.t_end, tids, record.flops))
+            out.append((record.t_start, end, tids, record.flops))
         return out
 
     def on_done(self) -> None:
@@ -233,7 +252,8 @@ class _ProcState:
             dispatch = self.model.gpu.dispatch_serial_us * 1e-6
             issue = max(t, self.dispatch_clock)
             self.dispatch_clock = issue + dispatch
-            body = self.model.launch_time(launch) - overhead
+            body = (self.model.launch_time(launch) - overhead) \
+                * self.slowdown(t)
             start = max(issue + overhead, self.device_clock)
             end = start + body
             self.clocks[s] = end
@@ -243,8 +263,32 @@ class _ProcState:
             out.append((t, end, [tid], stats.flops))
         return out
 
+    def drain_pending(self) -> list[int]:
+        """Remove and return every queued-but-unlaunched task id.
+
+        Rank death re-homes this backlog onto the recovery rank; tasks
+        already *running* are in :attr:`running`, not here.
+        """
+        if self.policy == "trojan":
+            out = list(self.prio.drain())
+            while not self.container.is_empty:
+                out.append(self.container.pop())
+            return out
+        out = [entry[2] for entry in self.heap]
+        self.heap.clear()
+        return out
+
     def next_wake(self, t: float) -> float | None:
-        """Earliest future time this process could start new work."""
+        """Earliest future time this process could start new work.
+
+        Wakes are coalesced (one pending wake per process) and only
+        cover *scheduler* stalls — a busy device with queued work.
+        Retransmit deadlines must never be expressed as process wakes: a
+        rank waiting on a lost message has no ready tasks, so its wake
+        would be ``None`` and the coalescing would silently swallow the
+        timer.  The fault path therefore keeps every retransmit timer as
+        a first-class event on the global heap.
+        """
         if self.policy == "streams":
             pending = [c for c in self.clocks if c > t]
             return min(pending) if pending and self.heap else None
@@ -276,6 +320,11 @@ class DistributedSimulator:
         Per-process scheduler (see :data:`POLICIES`).
     grid:
         Optional explicit :class:`ProcessGrid`.
+    faults:
+        Optional :class:`~repro.cluster.faults.FaultSpec`; when given,
+        the run injects lossy links, stragglers and rank deaths,
+        deterministically from the spec's seed, via the extended event
+        loop (:meth:`_run_faulty`).
     """
 
     def __init__(self, dag: TaskDAG, backend: ExecutionBackend,
@@ -283,13 +332,17 @@ class DistributedSimulator:
                  grid: ProcessGrid | None = None,
                  record_timeline: bool = False,
                  record_trace: bool = False,
-                 msg_scale: float = 1.0):
+                 msg_scale: float = 1.0,
+                 faults: FaultSpec | None = None):
         if policy not in POLICIES:
             raise ValueError(f"unknown policy {policy!r}; choose from {POLICIES}")
         if nprocs < 1:
             raise ValueError(f"nprocs must be >= 1, got {nprocs}")
         if msg_scale <= 0:
             raise ValueError("msg_scale must be positive")
+        if faults is not None:
+            faults.validate(nprocs)
+        self.faults = faults
         self.dag = dag
         self.backend = backend
         self.cluster = cluster
@@ -312,7 +365,14 @@ class DistributedSimulator:
         return self.grid.owner(task.i, task.j)
 
     def run(self) -> DistributedResult:
-        """Simulate the whole factorisation; returns cluster-level stats."""
+        """Simulate the whole factorisation; returns cluster-level stats.
+
+        Fault-free runs use the lean lossless loop below; a
+        :class:`FaultSpec` switches to the extended loop with per-edge
+        delivery tracking, retransmit timers and death/recovery events.
+        """
+        if self.faults is not None:
+            return self._run_faulty()
         dag = self.dag
         model = GPUCostModel(self.cluster.gpu)
         cp = dag.critical_path_lengths()
@@ -438,4 +498,384 @@ class DistributedSimulator:
             comm_bytes=comm_bytes,
             timeline=timeline,
             trace=trace,
+        )
+
+    def _run_faulty(self) -> DistributedResult:
+        """Event loop with fault injection (``faults`` was given).
+
+        Differences from the lossless loop:
+
+        * every DAG edge is tracked individually — a predecessor count
+          drops at payload *arrival* (a ``deliver`` event), not at send
+          time, so deliveries can be undone when a rank dies;
+        * cross-rank shipments go through ``xmit`` events that draw
+          drop/duplication outcomes from the spec's seeded RNG and
+          schedule retransmits with exponential backoff.  Retransmit
+          timers live on the global event heap, never as per-process
+          wakes — ``_ProcState.next_wake`` coalescing would swallow a
+          timer on a rank with no ready work;
+        * a ``death`` event marks the rank dead, re-homes its tile
+          ownership onto a recovery rank, restores the last periodic
+          checkpoint there (task outputs and received payloads up to the
+          checkpoint survive; everything later is re-executed or
+          re-delivered) and re-queues the lost work after
+          ``recovery_delay``.
+
+        Everything stochastic comes from one ``numpy`` Generator drawn
+        in deterministic event order, so identical (spec, seed) pairs
+        reproduce bit-identical traces.
+        """
+        dag = self.dag
+        spec = self.faults
+        link = spec.link
+        drop_table = link.drop_table()
+        model = GPUCostModel(self.cluster.gpu)
+        cp = dag.critical_path_lengths()
+        rng = np.random.default_rng(spec.seed)
+        fstats = FaultStats()
+        nprocs = self.nprocs
+        n = dag.n_tasks
+        procs = [
+            _ProcState(r, self.policy, dag, model, self.backend, cp,
+                       slowdown=(lambda t, _r=r: spec.slowdown(_r, t)))
+            for r in range(nprocs)
+        ]
+
+        # per-edge delivery state (CSR edge ids over successor lists)
+        indptr, indices = dag.successor_csr()
+        e_cons = indices.astype(np.int64)
+        e_prod = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+        n_edges = e_cons.size
+        edge_recv = np.full(n_edges, -1.0)     # arrival time, -1 = not yet
+        edge_dst = np.full(n_edges, -1, dtype=np.int64)
+        edge_epoch = np.zeros(n_edges, dtype=np.int64)  # cancellation token
+
+        # task lifecycle: 0 idle, 1 queued, 2 running, 3 done
+        state = np.zeros(n, dtype=np.int8)
+        exec_rank = np.full(n, -1, dtype=np.int64)
+        done_at = np.full(n, -1.0)
+        ready_after = np.zeros(n)  # earliest requeue time after recovery
+        pred = dag.pred_count.copy()
+        alive = np.ones(nprocs, dtype=bool)
+        owner_override: dict[int, int] = {}  # dead rank -> recovery rank
+        death_log: list[tuple[int, int, float]] = []  # (rank, recovery, t)
+
+        def cur_owner(tid: int) -> int:
+            r = self.owner_of_task(tid)
+            while r in owner_override:
+                r = owner_override[r]
+            return r
+
+        def holder(tid: int) -> int:
+            """Alive rank holding a done task's output (checkpoint chain)."""
+            r = int(exec_rank[tid])
+            while r in owner_override:
+                r = owner_override[r]
+            return r
+
+        events: list[tuple[float, int, str, int, object]] = []
+        seq = 0
+
+        def push_event(t: float, kind: str, rank: int, payload) -> None:
+            nonlocal seq
+            heapq.heappush(events, (t, seq, kind, rank, payload))
+            seq += 1
+
+        messages = 0
+        comm_bytes = 0
+        done_tasks = 0
+        makespan = 0.0
+        total_flops = 0
+        timeline = [] if self.record_timeline else None
+        tracing = self.record_trace
+        if tracing:
+            task_t_start = np.full(n, -1.0)
+            task_t_done = np.full(n, -1.0)
+            send_log: list[SendRecord] = []
+
+        def edge_bytes(e: int) -> int:
+            return int(8 * dag.tasks[int(e_prod[e])].nnz * self.msg_scale)
+
+        def send_edge(e: int, src: int, t: float,
+                      resend: bool = False) -> None:
+            """Start shipping edge ``e``'s payload from ``src``."""
+            if resend:
+                fstats.resends += 1
+            dst = cur_owner(int(e_cons[e]))
+            if dst == src:
+                if resend and tracing:
+                    # recovery delivery that became rank-local (the
+                    # consumer re-homed onto the payload's holder);
+                    # record it so earlier dropped attempts of this
+                    # (producer, consumer) pair have a matched delivery
+                    send_log.append(SendRecord(
+                        tid=int(e_prod[e]), succ=int(e_cons[e]), src=src,
+                        dst=dst, t_send=t, t_recv=t,
+                        nbytes=edge_bytes(e), attempt=0))
+                push_event(t, "deliver", dst,
+                           (e, int(edge_epoch[e]), src, dst))
+            else:
+                messages_add()
+                push_event(t, "xmit", src, (e, 0, int(edge_epoch[e]), src))
+
+        def messages_add() -> None:
+            nonlocal messages
+            messages += 1
+
+        def handle_xmit(t: float, payload) -> None:
+            """One transmission attempt; draws drop/dup from the RNG."""
+            nonlocal comm_bytes
+            e, attempt, epoch, src = payload
+            if (epoch != edge_epoch[e] or not alive[src]
+                    or edge_recv[e] >= 0):
+                return
+            p, c = int(e_prod[e]), int(e_cons[e])
+            dst = cur_owner(c)  # re-routes to the recovery rank if dead
+            if dst == src:
+                # the consumer re-homed onto this very rank mid-flight;
+                # deliver locally, with a record matching any earlier
+                # dropped attempts of the pair
+                if tracing:
+                    send_log.append(SendRecord(
+                        tid=p, succ=c, src=src, dst=dst, t_send=t,
+                        t_recv=t, nbytes=edge_bytes(e), attempt=attempt))
+                push_event(t, "deliver", dst, (e, epoch, src, dst))
+                return
+            nbytes = edge_bytes(e)
+            comm_bytes += nbytes
+            delay = self.cluster.message_time(src, dst, nbytes)
+            pdrop = drop_table.get((src, dst), link.drop_prob)
+            if (pdrop > 0.0 and attempt + 1 < link.max_attempts
+                    and rng.random() < pdrop):
+                # lost on the wire; the final attempt always lands
+                # (reliable-transport fallback), so no payload is lost
+                # forever and the run always completes
+                fstats.drops += 1
+                fstats.retransmits += 1
+                if tracing:
+                    send_log.append(SendRecord(
+                        tid=p, succ=c, src=src, dst=dst, t_send=t,
+                        t_recv=None, nbytes=nbytes, attempt=attempt))
+                base = (link.timeout_s if link.timeout_s is not None
+                        else link.timeout_factor * delay)
+                push_event(t + base * link.backoff ** attempt, "xmit",
+                           src, (e, attempt + 1, epoch, src))
+                return
+            stretch = max(spec.slowdown(src, t), spec.slowdown(dst, t))
+            arr = t + delay * stretch
+            if tracing:
+                send_log.append(SendRecord(
+                    tid=p, succ=c, src=src, dst=dst, t_send=t,
+                    t_recv=arr, nbytes=nbytes, attempt=attempt))
+            push_event(arr, "deliver", dst, (e, epoch, src, dst))
+            if link.dup_prob > 0.0 and rng.random() < link.dup_prob:
+                fstats.dups += 1
+                push_event(arr, "deliver", dst, (e, epoch, src, dst))
+
+        def handle_deliver(t: float, payload) -> None:
+            e, epoch, src, dst = payload
+            if epoch != edge_epoch[e] or edge_recv[e] >= 0:
+                return  # cancelled, or a suppressed duplicate
+            c = int(e_cons[e])
+            if not alive[dst]:
+                # receiver died while the payload was in flight:
+                # invalidate this shipment and re-send to the consumer's
+                # current owner
+                edge_epoch[e] += 1
+                send_edge(e, src, t, resend=True)
+                return
+            edge_recv[e] = t
+            edge_dst[e] = dst
+            pred[c] -= 1
+            if pred[c] == 0 and state[c] == 0:
+                push_event(max(t, ready_after[c]), "ready", cur_owner(c), c)
+
+        def propagate(t_done: float, tids, src: int) -> None:
+            for tid in tids:
+                for e in range(int(indptr[tid]), int(indptr[tid + 1])):
+                    if edge_recv[e] >= 0:
+                        continue  # already delivered (re-execution)
+                    send_edge(e, src, t_done)
+
+        def handle_death(t: float, r: int) -> None:
+            if not alive[r]:
+                return
+            alive[r] = False
+            fstats.deaths += 1
+            rec = next((r + off) % nprocs for off in range(1, nprocs)
+                       if alive[(r + off) % nprocs])
+            t_rec = t + spec.recovery_delay
+            tc = math.floor(t / spec.checkpoint_interval) \
+                * spec.checkpoint_interval
+            # everything r ever executed, before the resets below — its
+            # undelivered payloads all died with the NIC
+            was_r = exec_rank == r
+            # in-flight batches die with the GPU
+            for tid in procs[r].running:
+                state[tid] = 0
+                exec_rank[tid] = -1
+                fstats.reexecuted += 1
+            procs[r].running.clear()
+            # queued work re-homes to the recovery rank
+            for tid in procs[r].drain_pending():
+                state[tid] = 0
+            # work completed after the last checkpoint is lost
+            lost = np.flatnonzero((state == 3) & (exec_rank == r)
+                                  & (done_at > tc))
+            for tid in lost:
+                state[tid] = 0
+                exec_rank[tid] = -1
+                nonlocal_done(-1)
+                fstats.reexecuted += 1
+            # tasks whose home was r now belong to the recovery rank,
+            # available once the checkpoint is restored there
+            moved = [tid for tid in range(n)
+                     if state[tid] != 3 and cur_owner(tid) == r]
+            owner_override[r] = rec
+            death_log.append((r, rec, t))
+            for tid in moved:
+                ready_after[tid] = max(ready_after[tid], t_rec)
+            # deliveries r had received: kept if checkpointed, undone
+            # (and re-sent by whoever durably holds the payload) if not
+            for e in np.flatnonzero((edge_dst == r) & (edge_recv >= 0)):
+                c, p = int(e_cons[e]), int(e_prod[e])
+                if state[c] == 3:
+                    continue  # consumer survived via the checkpoint
+                if edge_recv[e] > tc:
+                    edge_recv[e] = -1.0
+                    edge_dst[e] = -1
+                    edge_epoch[e] += 1
+                    pred[c] += 1
+                    if state[p] == 3:
+                        send_edge(e, holder(p), t_rec, resend=True)
+                    # else: p itself re-executes and re-propagates
+                elif state[p] == 3 and exec_rank[p] == r and tracing:
+                    # local payload restored from the checkpoint on the
+                    # recovery rank — record it so the verifier can match
+                    # the (now cross-rank-looking) edge to a delivery
+                    send_log.append(SendRecord(
+                        tid=p, succ=c, src=rec, dst=rec, t_send=t_rec,
+                        t_recv=t_rec, nbytes=edge_bytes(e), attempt=0))
+            # undelivered payloads r produced: cancel anything still in
+            # flight from the dead NIC; checkpointed (durable) outputs
+            # are re-sent from the restored checkpoint, while reset
+            # tasks re-deliver naturally when they re-execute
+            for e in np.flatnonzero(was_r[e_prod] & (edge_recv < 0)):
+                edge_epoch[e] += 1
+                if state[int(e_prod[e])] == 3:
+                    send_edge(e, rec, t_rec, resend=True)
+            # requeue everything runnable once recovery completes
+            for tid in np.flatnonzero((pred == 0) & (state == 0)):
+                tid = int(tid)
+                push_event(max(t_rec, ready_after[tid]), "ready",
+                           cur_owner(tid), tid)
+
+        def nonlocal_done(delta: int) -> None:
+            nonlocal done_tasks
+            done_tasks += delta
+
+        for tid in dag.initial_ready():
+            push_event(0.0, "ready", self.owner_of_task(tid), tid)
+        for d in spec.deaths:
+            push_event(d.time, "death", d.rank, None)
+
+        wake_pending = [float("inf")] * nprocs
+
+        while events:
+            t, _, kind, rank, payload = heapq.heappop(events)
+            if t >= wake_pending[rank]:
+                wake_pending[rank] = float("inf")
+            if kind == "death":
+                handle_death(t, rank)
+                continue
+            if kind == "xmit":
+                handle_xmit(t, payload)
+                continue
+            if kind == "deliver":
+                handle_deliver(t, payload)
+                rank = payload[3]  # try launching on the receiver
+            elif kind == "ready":
+                tid = int(payload)
+                if state[tid] != 0 or pred[tid] != 0:
+                    continue  # stale (already queued/launched or undone)
+                if t < ready_after[tid]:
+                    push_event(ready_after[tid], "ready", cur_owner(tid),
+                               tid)
+                    continue
+                rank = cur_owner(tid)
+                state[tid] = 1
+                procs[rank].add_ready(tid)
+            elif kind == "done":
+                if not alive[rank]:
+                    continue  # the batch died with its GPU
+                proc = procs[rank]
+                proc.on_done()
+                finished = []
+                for tid in payload:
+                    if state[tid] == 2 and exec_rank[tid] == rank:
+                        state[tid] = 3
+                        done_at[tid] = t
+                        proc.running.discard(tid)
+                        nonlocal_done(1)
+                        finished.append(tid)
+                propagate(t, finished, rank)
+                makespan = max(makespan, t)
+            if not alive[rank]:
+                continue
+            proc = procs[rank]
+            for start, end, tids, flops in proc.launch(t):
+                total_flops += flops
+                for tid in tids:
+                    state[tid] = 2
+                    exec_rank[tid] = rank
+                    proc.running.add(tid)
+                if timeline is not None:
+                    timeline.append((rank, start, end, list(tids)))
+                if tracing:
+                    task_t_start[tids] = start
+                    task_t_done[tids] = end
+                push_event(end, "done", rank, tids)
+            wake = proc.next_wake(t)
+            if wake is not None and wake < wake_pending[rank]:
+                wake_pending[rank] = wake
+                push_event(wake, "wake", rank, None)
+
+        if done_tasks != n:
+            raise AssertionError(
+                f"faulty distributed sim finished {done_tasks}/{n} tasks")
+        trace = None
+        if tracing:
+            edges = np.stack([e_prod, e_cons], axis=1) if n_edges \
+                else np.empty((0, 2), dtype=np.int64)
+            per_rank = factor_bytes_per_rank(dag, self.grid).astype(float)
+            for r, rec, _t in death_log:
+                per_rank[rec] += per_rank[r]
+                per_rank[r] = 0.0
+            trace = DistTrace(
+                nprocs=nprocs,
+                rank=exec_rank.copy(),
+                t_start=task_t_start,
+                t_done=task_t_done,
+                edges=edges,
+                sends=send_log,
+                deaths=[(r, t) for r, _rec, t in death_log],
+                per_rank_bytes=per_rank,
+                mem_budget_bytes=USABLE_FRACTION
+                * self.cluster.gpu.memory_gb * 1e9,
+            )
+        return DistributedResult(
+            cluster=self.cluster.name,
+            policy=self.policy,
+            nprocs=nprocs,
+            makespan=makespan,
+            total_tasks=n,
+            total_kernels=sum(p.kernels for p in procs),
+            total_flops=total_flops,
+            per_proc_kernels=[p.kernels for p in procs],
+            per_proc_busy=[p.busy for p in procs],
+            messages=messages,
+            comm_bytes=comm_bytes,
+            timeline=timeline,
+            trace=trace,
+            faults=fstats,
         )

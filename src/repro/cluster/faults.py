@@ -1,0 +1,368 @@
+"""Fault injection for the distributed cluster simulator.
+
+The paper's scale-out study (§6) — and the lossless event loop in
+:mod:`repro.cluster.distsim` — assumes immortal ranks and perfect links.
+Real clusters drop messages, straggle, and lose nodes.  This module
+describes those failures as data (:class:`FaultSpec`) so the simulator
+can replay them deterministically from a seed:
+
+* :class:`LinkFaults` — per-link message drop/duplication probability
+  with a retransmit protocol (timeout + exponential backoff, capped
+  attempts; the final attempt rides a reliable fallback so the
+  factorisation always completes);
+* :class:`Straggler` — a per-rank slowdown factor, optionally limited to
+  a time window, stretching both task and transfer latencies;
+* :class:`RankDeath` — a rank dies at time *t*; its unreplayed work is
+  re-executed on a recovery rank from the last periodic checkpoint and
+  downstream consumers block until re-delivery.
+
+Everything is driven by one ``numpy`` Generator seeded from
+``FaultSpec.seed`` and drawn in event order, so identical (spec, seed)
+pairs produce bit-identical traces — the property the CI ``chaos`` gate
+asserts.
+
+:class:`RecordOnceBackend` makes the *factors* fault-invariant too: it
+executes each task's numerics exactly once, in a canonical topological
+order, so recovery re-execution replays recorded stats instead of
+re-touching tile state, and every fault configuration yields bit-identical
+``L``/``U``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+__all__ = [
+    "LinkFaults",
+    "Straggler",
+    "RankDeath",
+    "FaultSpec",
+    "FaultStats",
+    "RecordOnceBackend",
+]
+
+
+@dataclass(frozen=True)
+class LinkFaults:
+    """Lossy-link model: drops, duplicates and the retransmit protocol.
+
+    Attributes
+    ----------
+    drop_prob:
+        Default probability that one transmission attempt is lost.
+    dup_prob:
+        Probability that a successful attempt is delivered twice
+        (duplicate suppression happens at the receiver).
+    timeout_factor:
+        Retransmit timeout for attempt ``a`` is ``timeout_factor ×
+        message_time × backoff**a`` — scale-free, so one spec works for
+        any workload size.  ``timeout_s`` overrides with an absolute
+        base timeout.
+    backoff:
+        Exponential backoff multiplier between attempts.
+    max_attempts:
+        Attempt cap.  The final attempt always succeeds (modelling a
+        switch to a reliable transport) so no payload is lost forever.
+    per_link_drop:
+        Per-edge overrides: ``((src, dst, prob), ...)``.
+    """
+
+    drop_prob: float = 0.0
+    dup_prob: float = 0.0
+    timeout_factor: float = 3.0
+    timeout_s: float | None = None
+    backoff: float = 2.0
+    max_attempts: int = 8
+    per_link_drop: tuple = ()
+
+    def __post_init__(self) -> None:
+        for name in ("drop_prob", "dup_prob"):
+            p = getattr(self, name)
+            if not 0.0 <= p < 1.0:
+                raise ValueError(f"{name} must be in [0, 1), got {p}")
+        if self.timeout_factor <= 0:
+            raise ValueError("timeout_factor must be positive")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
+        if self.backoff < 1.0:
+            raise ValueError("backoff must be >= 1")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        for entry in self.per_link_drop:
+            src, dst, p = entry
+            if not 0.0 <= float(p) < 1.0:
+                raise ValueError(
+                    f"per-link drop prob must be in [0, 1), got {p} "
+                    f"for link {src}->{dst}")
+
+    @property
+    def lossy(self) -> bool:
+        """True when any drop or duplication probability is non-zero."""
+        return bool(self.drop_prob or self.dup_prob or self.per_link_drop)
+
+    def drop_table(self) -> dict:
+        """``(src, dst) -> drop probability`` override map."""
+        return {(int(s), int(d)): float(p) for s, d, p in self.per_link_drop}
+
+
+@dataclass(frozen=True)
+class Straggler:
+    """One slow rank: latencies stretch by ``factor`` inside the window."""
+
+    rank: int
+    factor: float
+    t_start: float = 0.0
+    t_end: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.rank < 0:
+            raise ValueError("straggler rank must be >= 0")
+        if self.factor <= 0:
+            raise ValueError("straggler factor must be positive")
+        if self.t_end < self.t_start:
+            raise ValueError("straggler window ends before it starts")
+
+    def active(self, t: float) -> bool:
+        """Is the slowdown in effect at simulated time ``t``?"""
+        return self.t_start <= t < self.t_end
+
+
+@dataclass(frozen=True)
+class RankDeath:
+    """A rank dies at ``time``; recovery restores its last checkpoint."""
+
+    rank: int
+    time: float
+
+    def __post_init__(self) -> None:
+        if self.rank < 0:
+            raise ValueError("death rank must be >= 0")
+        if self.time < 0:
+            raise ValueError("death time must be >= 0")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """A complete, reproducible fault scenario for one simulated run.
+
+    Attributes
+    ----------
+    seed:
+        Seed for the fault RNG (drop/duplication draws, in event order).
+    link:
+        Lossy-link model (see :class:`LinkFaults`).
+    stragglers:
+        Slow ranks (see :class:`Straggler`).
+    deaths:
+        Rank deaths (see :class:`RankDeath`); at most one per rank, and
+        at least one rank must survive.
+    checkpoint_interval:
+        Period of the per-rank checkpoints recovery restores from.
+    recovery_delay:
+        Time between a death and the recovery rank coming up with the
+        restored checkpoint (detection + restore).
+    """
+
+    seed: int = 0
+    link: LinkFaults = field(default_factory=LinkFaults)
+    stragglers: tuple = ()
+    deaths: tuple = ()
+    checkpoint_interval: float = 1e-4
+    recovery_delay: float = 1e-5
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_interval <= 0:
+            raise ValueError("checkpoint_interval must be positive")
+        if self.recovery_delay < 0:
+            raise ValueError("recovery_delay must be >= 0")
+        ranks = [d.rank for d in self.deaths]
+        if len(ranks) != len(set(ranks)):
+            raise ValueError("at most one death per rank")
+
+    def validate(self, nprocs: int) -> None:
+        """Check the scenario fits a cluster of ``nprocs`` ranks."""
+        for s in self.stragglers:
+            if s.rank >= nprocs:
+                raise ValueError(
+                    f"straggler rank {s.rank} outside cluster of {nprocs}")
+        for d in self.deaths:
+            if d.rank >= nprocs:
+                raise ValueError(
+                    f"death rank {d.rank} outside cluster of {nprocs}")
+        if len(self.deaths) >= nprocs:
+            raise ValueError("every rank dies; at least one must survive")
+
+    def slowdown(self, rank: int, t: float) -> float:
+        """Latency stretch factor for ``rank`` at time ``t`` (1.0 = none)."""
+        f = 1.0
+        for s in self.stragglers:
+            if s.rank == rank and s.active(t):
+                f = max(f, s.factor)
+        return f
+
+    # -- (de)serialisation --------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready representation (inverse of :meth:`from_dict`)."""
+        out: dict = {"seed": self.seed}
+        link: dict = {
+            "drop_prob": self.link.drop_prob,
+            "dup_prob": self.link.dup_prob,
+            "timeout_factor": self.link.timeout_factor,
+            "backoff": self.link.backoff,
+            "max_attempts": self.link.max_attempts,
+        }
+        if self.link.timeout_s is not None:
+            link["timeout_s"] = self.link.timeout_s
+        if self.link.per_link_drop:
+            link["per_link_drop"] = [
+                [int(s), int(d), float(p)]
+                for s, d, p in self.link.per_link_drop]
+        out["link"] = link
+        out["stragglers"] = [
+            {"rank": s.rank, "factor": s.factor, "t_start": s.t_start,
+             **({} if math.isinf(s.t_end) else {"t_end": s.t_end})}
+            for s in self.stragglers]
+        out["deaths"] = [{"rank": d.rank, "time": d.time}
+                         for d in self.deaths]
+        out["checkpoint_interval"] = self.checkpoint_interval
+        out["recovery_delay"] = self.recovery_delay
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultSpec":
+        """Build a spec from the JSON format (see ``tests/faults/``)."""
+        link_raw = dict(payload.get("link", {}))
+        per_link = tuple(
+            (int(s), int(d), float(p))
+            for s, d, p in link_raw.pop("per_link_drop", []))
+        link = LinkFaults(per_link_drop=per_link, **link_raw)
+        stragglers = tuple(
+            Straggler(rank=int(s["rank"]), factor=float(s["factor"]),
+                      t_start=float(s.get("t_start", 0.0)),
+                      t_end=(math.inf if s.get("t_end") is None
+                             else float(s["t_end"])))
+            for s in payload.get("stragglers", []))
+        deaths = tuple(
+            RankDeath(rank=int(d["rank"]), time=float(d["time"]))
+            for d in payload.get("deaths", []))
+        kwargs = {}
+        for key in ("checkpoint_interval", "recovery_delay"):
+            if key in payload:
+                kwargs[key] = float(payload[key])
+        return cls(seed=int(payload.get("seed", 0)), link=link,
+                   stragglers=stragglers, deaths=deaths, **kwargs)
+
+    @classmethod
+    def from_json(cls, path) -> "FaultSpec":
+        """Load a spec file."""
+        return cls.from_dict(
+            json.loads(pathlib.Path(path).read_text(encoding="utf-8")))
+
+    def with_seed(self, seed: int) -> "FaultSpec":
+        """The same scenario under a different RNG seed."""
+        return replace(self, seed=int(seed))
+
+
+@dataclass
+class FaultStats:
+    """Fault accounting for one simulated run (see
+    :meth:`repro.cluster.distsim.DistributedResult.summary`).
+
+    Attributes
+    ----------
+    drops:
+        Transmission attempts lost on a link.
+    dups:
+        Duplicate deliveries injected (suppressed at the receiver).
+    retransmits:
+        Retransmission attempts scheduled after a timeout.
+    resends:
+        Payload re-deliveries initiated by the recovery protocol.
+    reexecuted:
+        Tasks run again after their rank died (in-flight or
+        post-checkpoint work).
+    deaths:
+        Ranks that died.
+    """
+
+    drops: int = 0
+    dups: int = 0
+    retransmits: int = 0
+    resends: int = 0
+    reexecuted: int = 0
+    deaths: int = 0
+
+    def as_dict(self) -> dict:
+        """Counter dict for benchmark tables and CI assertions."""
+        return {
+            "drops": self.drops,
+            "dups": self.dups,
+            "retransmits": self.retransmits,
+            "resends": self.resends,
+            "reexecuted": self.reexecuted,
+            "deaths": self.deaths,
+        }
+
+
+class RecordOnceBackend:
+    """Execute each task's numerics exactly once, in a canonical order.
+
+    Rank death re-executes tasks, and faults reorder ready queues; a raw
+    numeric backend would then redo tile arithmetic (corrupting in-place
+    state) or reassociate commuting Schur updates (drifting in the last
+    bits).  This wrapper pins both down:
+
+    * the *first* request for a task triggers numeric execution of every
+      not-yet-executed task up to it in a fixed topological order (the
+      DAG's level schedule), with exact stats recorded;
+    * every request — including recovery re-execution — answers from the
+      recorded stats.
+
+    Factors are therefore bit-identical across *all* fault
+    configurations by construction, which is exactly the record-once /
+    replay discipline the repo already uses for scheduling studies
+    (:class:`repro.core.executor.ReplayBackend`).
+
+    The reference kernels are sequential, so the ``atomic`` flag only
+    affects byte accounting; canonical-order execution reports the
+    canonical (non-atomic) stats.
+    """
+
+    def __init__(self, backend, dag):
+        self._backend = backend
+        self._dag = dag
+        n = dag.n_tasks
+        if n:
+            order = np.concatenate(dag.level_schedule())
+        else:
+            order = np.empty(0, dtype=np.int64)
+        self._order = order.astype(np.int64)
+        pos = np.empty(n, dtype=np.int64)
+        pos[self._order] = np.arange(n, dtype=np.int64)
+        self._pos = pos
+        self._next = 0
+        self._stats: dict = {}
+
+    def run_task(self, task, atomic: bool):
+        """Stats for ``task``; executes ahead in canonical order once."""
+        tid = task.tid
+        stats = self._stats.get(tid)
+        if stats is None:
+            target = int(self._pos[tid])
+            tasks = self._dag.tasks
+            while self._next <= target:
+                t2 = int(self._order[self._next])
+                self._stats[t2] = self._backend.run_task(tasks[t2], False)
+                self._next += 1
+            stats = self._stats[tid]
+        return stats
+
+    @property
+    def stats(self) -> dict:
+        """Per-task stats recorded so far (canonical-order execution)."""
+        return self._stats

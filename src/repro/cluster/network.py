@@ -49,13 +49,23 @@ class ClusterSpec:
     internode: NetworkModel
     intranode: NetworkModel
 
+    def link(self, src: int, dst: int) -> NetworkModel | None:
+        """The network model carrying ``src → dst`` traffic.
+
+        ``None`` for self-messages — no link is crossed.  Fault
+        injection keys its per-link drop probabilities off this same
+        classification, so a spec targets the exact link the cost model
+        charges.
+        """
+        if src == dst:
+            return None
+        same_node = src // self.gpus_per_node == dst // self.gpus_per_node
+        return self.intranode if same_node else self.internode
+
     def message_time(self, src: int, dst: int, nbytes: int) -> float:
         """Message cost between two ranks (0 for self-messages)."""
-        if src == dst:
-            return 0.0
-        same_node = src // self.gpus_per_node == dst // self.gpus_per_node
-        link = self.intranode if same_node else self.internode
-        return link.message_time(nbytes)
+        link = self.link(src, dst)
+        return 0.0 if link is None else link.message_time(nbytes)
 
 
 H100_CLUSTER = ClusterSpec(

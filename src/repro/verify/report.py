@@ -30,6 +30,7 @@ TRACE_MISSING_SEND = "TRACE_MISSING_SEND"
 TRACE_EARLY_CONSUME = "TRACE_EARLY_CONSUME"
 TRACE_MEM_BUDGET = "TRACE_MEM_BUDGET"
 TRACE_TASK_MISSING = "TRACE_TASK_MISSING"
+TRACE_DEAD_SEND = "TRACE_DEAD_SEND"
 
 # -- lint codes --------------------------------------------------------
 LINT_NNZ_LOOP = "LINT_NNZ_LOOP"

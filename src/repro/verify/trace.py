@@ -15,6 +15,8 @@ send log) so adversarial traces can be hand-written in JSON for the
 
 from __future__ import annotations
 
+import hashlib
+import json
 import math
 from dataclasses import dataclass, field
 
@@ -31,10 +33,14 @@ MAX_PER_CODE = 100
 
 @dataclass(frozen=True)
 class SendRecord:
-    """One tile shipment between ranks.
+    """One transmission attempt of a tile between ranks.
 
-    ``t_recv`` is ``None`` for a send that was never delivered (lost or
-    unmatched) — exactly what the verifier must catch.
+    ``t_recv`` is ``None`` for an attempt that was never delivered.
+    Under fault injection one logical shipment may span several records
+    (dropped attempts followed by a retransmit); ``attempt`` numbers
+    them.  A ``(tid, succ)`` pair is satisfied as soon as *one* of its
+    records is a valid delivery — a pair with none is exactly what the
+    verifier must catch.
     """
 
     tid: int
@@ -44,6 +50,7 @@ class SendRecord:
     t_send: float
     t_recv: float | None
     nbytes: int
+    attempt: int = 0
 
 
 @dataclass
@@ -61,7 +68,10 @@ class DistTrace:
     edges:
         ``(E, 2)`` array of DAG edges ``(producer, consumer)``.
     sends:
-        Every cross-rank tile shipment.
+        Every cross-rank tile shipment attempt.
+    deaths:
+        ``(rank, time)`` pairs for ranks that died mid-run; deliveries
+        departing a rank but arriving after its death are invalid.
     per_rank_bytes:
         Optional resident factor bytes per rank.
     mem_budget_bytes:
@@ -74,6 +84,7 @@ class DistTrace:
     t_done: np.ndarray
     edges: np.ndarray
     sends: list = field(default_factory=list)
+    deaths: list = field(default_factory=list)
     per_rank_bytes: np.ndarray | None = None
     mem_budget_bytes: float | None = None
 
@@ -82,6 +93,13 @@ class DistTrace:
         """Number of tasks covered by the trace."""
         return int(self.rank.shape[0])
 
+    def death_time(self, rank: int) -> float:
+        """When ``rank`` died (``inf`` if it never did)."""
+        for r, t in self.deaths:
+            if int(r) == rank:
+                return float(t)
+        return math.inf
+
     @classmethod
     def from_dict(cls, payload: dict) -> "DistTrace":
         """Build a trace from the JSON case format.
@@ -89,8 +107,10 @@ class DistTrace:
         Expected keys: ``nprocs``, ``tasks`` (list of ``{tid, rank,
         t_start, t_done}``), ``edges`` (list of ``[producer, consumer]``
         pairs), ``sends`` (list of ``{tid, succ, src, dst, t_send,
-        t_recv, bytes}``; ``t_recv: null`` marks an undelivered send),
-        and optionally ``per_rank_bytes`` + ``mem_budget_bytes``.
+        t_recv, bytes, attempt}``; ``t_recv: null`` marks an
+        undelivered attempt), and optionally ``deaths`` (list of
+        ``[rank, time]`` pairs), ``per_rank_bytes`` +
+        ``mem_budget_bytes``.
         """
         tasks = payload["tasks"]
         n = 1 + max(int(t["tid"]) for t in tasks) if tasks else 0
@@ -112,6 +132,7 @@ class DistTrace:
                 t_recv=None if s.get("t_recv") is None
                 else float(s["t_recv"]),
                 nbytes=int(s.get("bytes", 0)),
+                attempt=int(s.get("attempt", 0)),
             )
             for s in payload.get("sends", [])
         ]
@@ -120,10 +141,55 @@ class DistTrace:
             nprocs=int(payload["nprocs"]),
             rank=rank, t_start=t_start, t_done=t_done, edges=edges,
             sends=sends,
+            deaths=[(int(r), float(t))
+                    for r, t in payload.get("deaths", [])],
             per_rank_bytes=None if prb is None else np.asarray(prb,
                                                                dtype=float),
             mem_budget_bytes=payload.get("mem_budget_bytes"),
         )
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (inverse of :meth:`from_dict`)."""
+        out: dict = {
+            "nprocs": self.nprocs,
+            "tasks": [
+                {"tid": int(t), "rank": int(self.rank[t]),
+                 "t_start": float(self.t_start[t]),
+                 "t_done": float(self.t_done[t])}
+                for t in range(self.n_tasks)
+            ],
+            "edges": [[int(p), int(c)] for p, c in self.edges],
+            "sends": [
+                {"tid": s.tid, "succ": s.succ, "src": s.src, "dst": s.dst,
+                 "t_send": s.t_send, "t_recv": s.t_recv,
+                 "bytes": s.nbytes, "attempt": s.attempt}
+                for s in self.sends
+            ],
+        }
+        if self.deaths:
+            out["deaths"] = [[int(r), float(t)] for r, t in self.deaths]
+        if self.per_rank_bytes is not None:
+            out["per_rank_bytes"] = [float(b) for b in self.per_rank_bytes]
+        if self.mem_budget_bytes is not None:
+            out["mem_budget_bytes"] = float(self.mem_budget_bytes)
+        return out
+
+    def digest(self) -> str:
+        """SHA-256 over the full trace content.
+
+        The CI chaos gate's determinism check: identical (fault spec,
+        seed) pairs must produce byte-identical traces, so their digests
+        must match exactly.
+        """
+        h = hashlib.sha256()
+        for arr in (self.rank, self.t_start, self.t_done, self.edges):
+            h.update(np.ascontiguousarray(arr).tobytes())
+        h.update(json.dumps(
+            [[s.tid, s.succ, s.src, s.dst, s.t_send, s.t_recv, s.nbytes,
+              s.attempt] for s in self.sends]
+            + [["death", int(r), float(t)] for r, t in self.deaths],
+            separators=(",", ":")).encode())
+        return h.hexdigest()
 
 
 class TraceVerifier:
@@ -140,8 +206,8 @@ class TraceVerifier:
             checks.append("memory")
         out = VerificationReport(subject=subject, checks=tuple(checks))
         self._check_completeness(out)
-        send_keys = self._check_sends(out)
-        self._check_consume_order(out, send_keys)
+        recv_of, dead_only = self._check_sends(out)
+        self._check_consume_order(out, recv_of, dead_only)
         if "memory" in checks:
             self._check_memory(out)
         return out
@@ -157,28 +223,30 @@ class TraceVerifier:
                 task_ids=tuple(int(t) for t in never[:MAX_PER_CODE]),
             ))
 
-    def _check_sends(self, out: VerificationReport) -> dict:
-        """Every send must be delivered after it departs.
+    def _check_sends(self, out: VerificationReport) -> tuple[dict, set]:
+        """Every shipment must have at least one valid delivery.
 
-        Returns the ``(tid, succ) -> receive time`` map the consume-order
-        check resolves cross-rank edges against.
+        A record is a *valid delivery* when it was received, no earlier
+        than it departed, and before its source rank died — a payload
+        still in flight when its sender dies is lost with the sender and
+        must be re-delivered by the recovery protocol.  Dropped attempts
+        (``t_recv: null``) are fine as long as a retransmit of the same
+        ``(tid, succ)`` pair eventually lands.
+
+        Returns the ``(tid, succ) -> receive time`` map the
+        consume-order check resolves cross-rank edges against, plus the
+        set of pairs whose only deliveries were invalidated by a source
+        death.
         """
         tr = self._trace
         recv_of: dict = {}
+        dropped: set = set()
+        dead: set = set()
         flagged = 0
         for s in tr.sends:
             key = (s.tid, s.succ)
             if s.t_recv is None:
-                if flagged < MAX_PER_CODE:
-                    out.add(Violation(
-                        code=rep.TRACE_UNMATCHED_SEND,
-                        message=f"send of task {s.tid}'s tile to task "
-                                f"{s.succ} (rank {s.src}→{s.dst}) was "
-                                "never received",
-                        task_ids=(s.tid, s.succ),
-                        rank=s.src,
-                    ))
-                    flagged += 1
+                dropped.add(key)
                 continue
             if s.t_recv < s.t_send - TIME_EPS:
                 if flagged < MAX_PER_CODE:
@@ -192,15 +260,37 @@ class TraceVerifier:
                     ))
                     flagged += 1
                 continue
+            if s.t_recv > tr.death_time(s.src) + TIME_EPS:
+                dead.add(key)
+                continue
             prev = recv_of.get(key)
             if prev is None or s.t_recv > prev:
                 recv_of[key] = s.t_recv
-        return recv_of
+        # a pair whose every attempt was dropped (and never delivered
+        # another way) is an unmatched send
+        for key in sorted(dropped - set(recv_of) - dead):
+            if flagged >= MAX_PER_CODE:
+                break
+            out.add(Violation(
+                code=rep.TRACE_UNMATCHED_SEND,
+                message=f"send of task {key[0]}'s tile to task {key[1]} "
+                        "was never received on any attempt",
+                task_ids=key,
+            ))
+            flagged += 1
+        return recv_of, dead - set(recv_of)
 
     def _check_consume_order(self, out: VerificationReport,
-                             recv_of: dict) -> None:
+                             recv_of: dict, dead_only: set) -> None:
         """No rank may consume a tile before its producer's completion
-        event (same rank) or the tile's arrival (cross rank)."""
+        event (same rank) or the tile's arrival (cross rank).
+
+        Recovery wrinkle: a producer re-executed after a rank death may
+        finish *after* a consumer that validly received its payload from
+        the original (pre-death) execution — a delivered send for the
+        edge, consumed no earlier than its arrival, excuses the apparent
+        same-rank inversion.
+        """
         tr = self._trace
         if not tr.edges.size:
             return
@@ -211,8 +301,14 @@ class TraceVerifier:
         # same-rank edges, fully vectorized
         local_bad = ran & same & (tr.t_start[cons]
                                   < tr.t_done[prod] - TIME_EPS)
-        for e in np.flatnonzero(local_bad)[:MAX_PER_CODE]:
+        flagged = 0
+        for e in np.flatnonzero(local_bad):
+            if flagged >= MAX_PER_CODE:
+                break
             p, c = int(prod[e]), int(cons[e])
+            t_recv = recv_of.get((p, c))
+            if t_recv is not None and tr.t_start[c] >= t_recv - TIME_EPS:
+                continue  # consumed the original pre-death delivery
             out.add(Violation(
                 code=rep.TRACE_EARLY_CONSUME,
                 message=f"task {c} started at {tr.t_start[c]:g} before "
@@ -220,13 +316,27 @@ class TraceVerifier:
                 task_ids=(c, p),
                 rank=int(tr.rank[c]),
             ))
-        # cross-rank edges must match a delivered send
-        missing = early = 0
+            flagged += 1
+        # cross-rank edges must match a valid delivered send
+        missing = early = deadf = 0
         for e in np.flatnonzero(ran & ~same):
             p, c = int(prod[e]), int(cons[e])
             t_recv = recv_of.get((p, c))
             if t_recv is None:
-                if missing < MAX_PER_CODE:
+                if (p, c) in dead_only:
+                    if deadf < MAX_PER_CODE:
+                        out.add(Violation(
+                            code=rep.TRACE_DEAD_SEND,
+                            message=f"task {c} (rank {int(tr.rank[c])}) "
+                                    f"consumed task {p}'s tile, but every "
+                                    "delivery arrived after rank "
+                                    f"{int(tr.rank[p])} died and was never "
+                                    "re-delivered",
+                            task_ids=(p, c),
+                            rank=int(tr.rank[c]),
+                        ))
+                        deadf += 1
+                elif missing < MAX_PER_CODE:
                     out.add(Violation(
                         code=rep.TRACE_MISSING_SEND,
                         message=f"tasks {p} (rank {int(tr.rank[p])}) and "
