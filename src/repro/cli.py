@@ -5,6 +5,7 @@ Examples::
     python -m repro info
     python -m repro factor --matrix cage12 --solver pangulu --scheduler trojan
     python -m repro factor --mtx system.mtx --solver superlu --gpu a100 --solve
+    python -m repro sptrsv --matrix cage12 --nrhs 8 --solve-scheduler trojan
     python -m repro scaleout --matrix cage13 --cluster h100 --policy trojan
     python -m repro distsim --matrix c-71 --gpus 4 \\
         --faults tests/faults/chaos.json --seed 42 --verify
@@ -23,6 +24,7 @@ import numpy as np
 
 from repro.analysis import format_table
 from repro.cluster import DistributedSimulator, H100_CLUSTER, MI50_CLUSTER
+from repro.core import SOLVE_SCHEDULER_NAMES, compare_solve_schedulers
 from repro.core.baselines import SCHEDULER_NAMES
 from repro.core.executor import ReplayBackend
 from repro.gpusim import GPU_PRESETS
@@ -102,6 +104,48 @@ def cmd_factor(args) -> int:
         x = result.solve(b)
         err = np.linalg.norm(x - x_true) / np.linalg.norm(x_true)
         print(f"solve check: relative error {err:.2e}")
+    return 0
+
+
+def cmd_sptrsv(args) -> int:
+    """Solve-phase report: batched SpTRSV vs the per-column oracle.
+
+    Factorises the matrix, solves a random multi-RHS system through the
+    batched solve DAG, bit-compares against the tiled per-column oracle,
+    and prints the trojan-vs-level-set scheduler comparison for both the
+    L-solve and U-solve DAGs under the GPU cost model.
+    """
+    a = _load_matrix(args)
+    solver = SOLVERS[args.solver](a, ordering=args.ordering,
+                                  gpu=GPU_PRESETS[args.gpu])
+    result = solver.factorize()
+    rng = np.random.default_rng(0)
+    x_true = rng.standard_normal((a.nrows, args.nrhs))
+    b = np.column_stack([matvec(a, x_true[:, c])
+                         for c in range(args.nrhs)])
+    x = result.solve(b, batch_solve=True,
+                     solve_scheduler=args.solve_scheduler)
+    oracle = result.solve_per_column_oracle(b)
+    err = np.linalg.norm(x - x_true) / np.linalg.norm(x_true)
+    print(format_table(
+        ["n", "nrhs", "scheduler", "oracle bitwise", "relative error"],
+        [[a.nrows, args.nrhs, args.solve_scheduler,
+          "yes" if np.array_equal(x, oracle) else "NO",
+          f"{err:.2e}"]],
+        title=f"{args.solver} batched SpTRSV on {args.gpu}"))
+    lctx, uctx = result.solve_contexts()
+    for phase, ctx in (("L-solve", lctx), ("U-solve", uctx)):
+        info = compare_solve_schedulers(ctx.dag_for(args.nrhs),
+                                        GPU_PRESETS[args.gpu])
+        rows = [[name, s["kernels"], round(s["mean_batch"], 1),
+                 round(s["makespan_ms"], 3)]
+                for name, s in info["schedulers"].items()]
+        print()
+        print(format_table(
+            ["scheduler", "kernels", "tasks/kernel", "time (ms)"],
+            rows,
+            title=f"{phase}: {info['tasks']} tasks, depth "
+                  f"{info['depth']}"))
     return 0
 
 
@@ -303,6 +347,14 @@ def build_parser() -> argparse.ArgumentParser:
     f.add_argument("--solve", action="store_true",
                    help="verify with a random right-hand side")
 
+    t = sub.add_parser(
+        "sptrsv", help="batched solve phase vs the per-column oracle")
+    common(t)
+    t.add_argument("--nrhs", type=int, default=4,
+                   help="number of right-hand-side columns")
+    t.add_argument("--solve-scheduler", default="trojan",
+                   choices=SOLVE_SCHEDULER_NAMES)
+
     c = sub.add_parser("compare", help="compare all schedulers")
     common(c)
 
@@ -370,6 +422,7 @@ def main(argv=None) -> int:
     handlers = {
         "info": cmd_info,
         "factor": cmd_factor,
+        "sptrsv": cmd_sptrsv,
         "compare": cmd_compare,
         "scaleout": cmd_scaleout,
         "distsim": cmd_distsim,

@@ -57,6 +57,14 @@ from repro.core.staticanalysis import (
     validate_schedule,
 )
 from repro.core.fusion import FusedBackend, FusionResult, merge_schur_tasks
+from repro.core.solve_dag import (
+    build_solve_dag,
+    solve_sources,
+    LevelSetScheduler,
+    make_solve_scheduler,
+    compare_solve_schedulers,
+    SOLVE_SCHEDULER_NAMES,
+)
 
 __all__ = [
     "Task",
@@ -95,4 +103,10 @@ __all__ = [
     "FusedBackend",
     "FusionResult",
     "merge_schur_tasks",
+    "build_solve_dag",
+    "solve_sources",
+    "LevelSetScheduler",
+    "make_solve_scheduler",
+    "compare_solve_schedulers",
+    "SOLVE_SCHEDULER_NAMES",
 ]

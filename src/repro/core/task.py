@@ -1,10 +1,12 @@
-"""Task descriptors for the numeric-factorisation DAG.
+"""Task descriptors for the numeric-factorisation and solve DAGs.
 
-A task is one of the four kernel operations on one tile (or tile triple
-for SSSSM).  Its resource footprint follows the paper's CUDA-block mapping
-(§3.4 / Figure 7): GETRF one block per column, TSTRF one per row, GEESM
-and SSSSM one per column; each block stages one row/column in shared
-memory when it fits.
+A task is one of the four factorisation kernel operations on one tile
+(or tile triple for SSSSM), or one of the two triangular-solve (SpTRSV)
+operations on a block row of right-hand sides.  Its resource footprint
+follows the paper's CUDA-block mapping (§3.4 / Figure 7): GETRF one
+block per column, TSTRF one per row, GEESM/SSSSM one per column, and the
+SpTRSV tasks one block per right-hand-side column; each block stages one
+row/column in shared memory when it fits.
 """
 
 from __future__ import annotations
@@ -16,12 +18,15 @@ _SHARED_MEM_CAP_BYTES = 48 * 1024  # per-CUDA-block staging limit
 
 
 class TaskType(enum.IntEnum):
-    """The four Executor kernel types (paper nomenclature)."""
+    """The Executor kernel types: the paper's four factorisation kernels
+    plus the two solve-phase (SpTRSV) kernels of the solve DAG."""
 
     GETRF = 0  #: LU factorisation of a diagonal tile
     TSTRF = 1  #: row-panel triangular solve, L(i,k) = A(i,k)·U(k,k)⁻¹
     GEESM = 2  #: column-panel triangular solve, U(k,j) = L(k,k)⁻¹·A(k,j)
     SSSSM = 3  #: Schur-complement update, A(i,j) −= L(i,k)·U(k,j)
+    SPTRSV_DIAG = 4    #: diagonal solve of one RHS block, y_i = T(i,i)⁻¹·y_i
+    SPTRSV_UPDATE = 5  #: off-diagonal RHS update, y_i −= T(i,k)·y_k
 
 
 @dataclass
@@ -37,7 +42,9 @@ class Task:
     k, i, j:
         Elimination step and tile coordinates.  GETRF has ``i == j == k``;
         TSTRF is the (i, k) tile; GEESM the (k, j) tile; SSSSM updates
-        tile (i, j) using step-``k`` panels.
+        tile (i, j) using step-``k`` panels.  Solve tasks write RHS block
+        ``i`` (encoded as tile (i, i)): SPTRSV_DIAG has ``i == j == k``,
+        SPTRSV_UPDATE applies factor tile (i, k) with ``j == i``.
     rows, cols:
         Dimensions of the task's output tile.
     nnz:

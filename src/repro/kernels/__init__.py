@@ -13,6 +13,7 @@ GPU cost model.
 from repro.kernels.dense import (
     dense_getrf,
     dense_getrf_pivoted,
+    trsm_left_col,
     trsm_lower_unit,
     trsm_upper,
     gemm_update,
@@ -23,12 +24,17 @@ from repro.kernels.tilekernels import (
     tstrf_kernel,
     geesm_kernel,
     ssssm_kernel,
+    sptrsv_diag_kernel,
+    sptrsv_update_kernel,
 )
 from repro.kernels.batched import (
     batch_kernels_enabled,
+    batch_solve_enabled,
     batched_geesm,
     batched_ssssm,
     batched_ssssm_products,
+    batched_sptrsv_diag,
+    batched_sptrsv_update,
     batched_tstrf,
 )
 from repro.kernels.reference_lu import ReferenceLUResult, reference_lu
@@ -52,10 +58,16 @@ __all__ = [
     "tstrf_kernel",
     "geesm_kernel",
     "ssssm_kernel",
+    "trsm_left_col",
+    "sptrsv_diag_kernel",
+    "sptrsv_update_kernel",
     "batch_kernels_enabled",
+    "batch_solve_enabled",
     "batched_geesm",
     "batched_ssssm",
     "batched_ssssm_products",
+    "batched_sptrsv_diag",
+    "batched_sptrsv_update",
     "batched_tstrf",
     "ReferenceLUResult",
     "reference_lu",

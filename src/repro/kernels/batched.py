@@ -51,9 +51,26 @@ def batch_kernels_enabled() -> bool:
         not in _FALSY
 
 
+def batch_solve_enabled() -> bool:
+    """Whether the batched solve-DAG path is on (``REPRO_BATCH_SOLVE``).
+
+    Defaults to off: factorisation results keep the seed per-column
+    substitution unless the knob opts solves into the Trojan-batched
+    SpTRSV pipeline.  (Contrast ``REPRO_BATCH_KERNELS``, which defaults
+    on — the solve path is newer and stays opt-in.)
+    """
+    return os.environ.get("REPRO_BATCH_SOLVE", "0").strip().lower() \
+        not in _FALSY
+
+
 def _stack_nnz(stack: np.ndarray) -> np.ndarray:
     """Per-slice nonzero counts of a ``(B, m, n)`` stack, int64."""
     return np.count_nonzero(stack, axis=(1, 2)).astype(np.int64)
+
+
+def _rhs_nnz(stack: np.ndarray) -> np.ndarray:
+    """Per-slice nonzero counts of a ``(B, nrhs, m, 1)`` RHS stack."""
+    return np.count_nonzero(stack, axis=(1, 2, 3)).astype(np.int64)
 
 
 def batched_ssssm_products(lstack: np.ndarray, ustack: np.ndarray,
@@ -164,3 +181,84 @@ def batched_tstrf(bstack: np.ndarray, dstack: np.ndarray,
         flops = np.full(b, trsm_flops_dense(m, rows), dtype=np.int64)
         touched = np.full(b, rows * m, dtype=np.int64)
     return flops, 8 * (nnz_in + touched + _stack_nnz(dstack))
+
+
+def batched_sptrsv_diag(bstack: np.ndarray, dstack: np.ndarray,
+                        lower: bool = True, unit_diagonal: bool = False,
+                        sparse: bool = False
+                        ) -> tuple[np.ndarray, np.ndarray]:
+    """Stacked SPTRSV_DIAG: solve ``T[b] · Y[b] = Y[b]`` in place.
+
+    ``bstack`` is the column-folded ``(B, nrhs, m, 1)`` RHS stack and
+    ``dstack`` the ``(B, m, m)`` diagonal tiles.  Folding keeps each
+    column a ``(m, 1)`` operand, so step r is a broadcast
+    ``(1, r) @ (r, 1)`` core per (slice, column) — the exact core the
+    per-column oracle runs, unlike a wide ``(m, nrhs)`` solve whose
+    row-times-matrix products sum in a different order.  The subtract
+    and divide interleave row by row to match
+    :func:`repro.kernels.dense.trsm_left_col` bit for bit on non-unit
+    diagonals.
+    """
+    m = dstack.shape[1]
+    if bstack.shape[2] != m:
+        raise ValueError("dimension mismatch in batched_sptrsv_diag")
+    nnz_in = _rhs_nnz(bstack)
+    rows = range(m) if lower else range(m - 1, -1, -1)
+    for r in rows:
+        if lower:
+            if r:
+                bstack[:, :, r, :] -= np.matmul(
+                    dstack[:, None, r:r + 1, :r],
+                    bstack[:, :, :r, :])[:, :, 0, :]
+        elif r < m - 1:
+            bstack[:, :, r, :] -= np.matmul(
+                dstack[:, None, r:r + 1, r + 1:],
+                bstack[:, :, r + 1:, :])[:, :, 0, :]
+        if not unit_diagonal:
+            d = dstack[:, r, r]
+            if np.any(d == 0.0):
+                raise ZeroDivisionError(f"zero diagonal at row {r}")
+            bstack[:, :, r, :] /= d[:, None, None]
+    if sparse:
+        if lower:
+            read = np.tril(dstack, -1) if unit_diagonal else np.tril(dstack)
+        else:
+            read = np.triu(dstack, 1) if unit_diagonal else np.triu(dstack)
+        avg = np.count_nonzero(read, axis=(1, 2)) / m
+        nnz_out = _rhs_nnz(bstack)
+        flops = ((2 * nnz_out) * avg).astype(np.int64)
+        touched = nnz_out
+    else:
+        b, nrhs = bstack.shape[:2]
+        flops = np.full(b, trsm_flops_dense(m, nrhs), dtype=np.int64)
+        touched = np.full(b, m * nrhs, dtype=np.int64)
+    return flops, 8 * (nnz_in + touched + _stack_nnz(dstack))
+
+
+def batched_sptrsv_update(dest_stack: np.ndarray, tstack: np.ndarray,
+                          src_stack: np.ndarray, sparse: bool = False
+                          ) -> tuple[np.ndarray, np.ndarray]:
+    """Stacked SPTRSV_UPDATE: ``Y_i[b] −= T[b] · Y_k[b]`` in place.
+
+    ``dest_stack`` is ``(B, nrhs, m_i, 1)``, ``tstack`` ``(B, m_i, m_k)``
+    and ``src_stack`` ``(B, nrhs, m_k, 1)``; the broadcast matmul runs
+    one ``(m_i, m_k) @ (m_k, 1)`` core per (slice, column), matching the
+    per-task kernel and the oracle's per-column products.  Destinations
+    within one call must be distinct RHS blocks — the canonical
+    accumulation chains of the solve DAG guarantee it by construction.
+    """
+    if tstack.shape[2] != src_stack.shape[2] \
+            or tstack.shape[1] != dest_stack.shape[2]:
+        raise ValueError("dimension mismatch in batched_sptrsv_update")
+    dest_stack -= np.matmul(tstack[:, None, :, :], src_stack)
+    b, nrhs = dest_stack.shape[:2]
+    if sparse:
+        flops = 2 * _stack_nnz(tstack) * nrhs
+        touched = _rhs_nnz(dest_stack) + _stack_nnz(tstack) \
+            + _rhs_nnz(src_stack)
+    else:
+        mi, mk = tstack.shape[1], tstack.shape[2]
+        flops = np.full(b, gemm_flops_dense(mi, mk, nrhs), dtype=np.int64)
+        touched = np.full(b, nrhs * mi + mi * mk + mk * nrhs,
+                          dtype=np.int64)
+    return flops, 8 * touched

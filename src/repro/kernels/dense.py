@@ -91,6 +91,37 @@ def trsm_upper(u_tile: np.ndarray, b: np.ndarray) -> np.ndarray:
     return b
 
 
+def trsm_left_col(tri_tile: np.ndarray, col: np.ndarray,
+                  lower: bool = True,
+                  unit_diagonal: bool = False) -> np.ndarray:
+    """Solve ``T x = col`` in place for one ``(m, 1)`` column.
+
+    The solve-phase diagonal kernel: forward substitution over the lower
+    triangle of ``tri_tile`` (or backward over the upper triangle), with
+    the subtract and divide interleaved row by row so the exact per-row
+    operation sequence is shared by the per-column oracle, the per-task
+    kernel, and the column-folded batched kernel — the bit-identity
+    contract of the solve DAG.  Entries on the unused side of the
+    triangle are never read, so a packed-LU tile works directly.
+    """
+    m = tri_tile.shape[0]
+    if col.shape != (m, 1):
+        raise ValueError("dimension mismatch in trsm_left_col")
+    rows = range(m) if lower else range(m - 1, -1, -1)
+    for r in rows:
+        if lower:
+            if r:
+                col[r:r + 1] -= tri_tile[r:r + 1, :r] @ col[:r]
+        elif r < m - 1:
+            col[r:r + 1] -= tri_tile[r:r + 1, r + 1:] @ col[r + 1:]
+        if not unit_diagonal:
+            d = tri_tile[r, r]
+            if d == 0.0:
+                raise ZeroDivisionError(f"zero diagonal at row {r}")
+            col[r:r + 1] /= d
+    return col
+
+
 def gemm_update(c: np.ndarray, a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """Schur update ``C ← C − A @ B`` in place."""
     c -= a @ b

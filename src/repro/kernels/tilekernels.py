@@ -1,4 +1,5 @@
-"""Tile-level task kernels: the Executor's four customisable operations.
+"""Tile-level task kernels: the Executor's customisable operations —
+the paper's four factorisation kernels plus the two SpTRSV solve kernels.
 
 Each kernel mutates dense tile scratch in place (the paper's kernels also
 gather sparse tiles into dense staging before computing) and returns a
@@ -17,6 +18,7 @@ import numpy as np
 from repro.kernels.dense import (
     dense_getrf,
     gemm_update,
+    trsm_left_col,
     trsm_lower_unit,
     trsm_upper,
 )
@@ -122,3 +124,57 @@ def ssssm_kernel(target: np.ndarray, l_tile: np.ndarray, u_tile: np.ndarray,
         touched = target.size + l_tile.size + u_tile.size
     extra = _nnz(target) if atomic else 0
     return KernelStats(flops=flops, bytes=8 * (touched + extra))
+
+
+def _solve_read_triangle(diag: np.ndarray, lower: bool,
+                         unit_diagonal: bool) -> np.ndarray:
+    """The part of a diagonal tile a triangular solve actually reads."""
+    if lower:
+        return np.tril(diag, -1) if unit_diagonal else np.tril(diag)
+    return np.triu(diag, 1) if unit_diagonal else np.triu(diag)
+
+
+def sptrsv_diag_kernel(cols: np.ndarray, diag: np.ndarray,
+                       lower: bool = True, unit_diagonal: bool = False,
+                       sparse: bool = False) -> KernelStats:
+    """SPTRSV_DIAG: solve ``T(i,i) · Y_i = Y_i`` in place.
+
+    ``cols`` is the RHS block in column-folded layout ``(nrhs, m, 1)``;
+    every column runs the identical row-sequential substitution of
+    :func:`repro.kernels.dense.trsm_left_col`, which is also what the
+    per-column oracle and the batched kernel execute.
+    """
+    nrhs, m = cols.shape[0], cols.shape[1]
+    nnz_in = _nnz(cols)
+    for c in range(nrhs):
+        trsm_left_col(diag, cols[c], lower=lower,
+                      unit_diagonal=unit_diagonal)
+    if sparse:
+        read = _solve_read_triangle(diag, lower, unit_diagonal)
+        flops = trsm_flops_sparse(_nnz(cols), read != _EPS)
+        touched = _nnz(cols)
+    else:
+        flops = trsm_flops_dense(m, nrhs)
+        touched = cols.size
+    return KernelStats(flops=flops, bytes=8 * (nnz_in + touched + _nnz(diag)))
+
+
+def sptrsv_update_kernel(dest: np.ndarray, tile: np.ndarray,
+                         src: np.ndarray, sparse: bool = False
+                         ) -> KernelStats:
+    """SPTRSV_UPDATE: ``Y_i −= T(i,k) · Y_k`` in place, column-folded.
+
+    ``dest`` is ``(nrhs, m_i, 1)``, ``src`` is ``(nrhs, m_k, 1)``; the
+    broadcast matmul runs one ``(m_i, m_k) @ (m_k, 1)`` core per column —
+    the same cores as the oracle's per-column products, keeping the
+    accumulation bit-identical regardless of RHS width.
+    """
+    dest -= np.matmul(tile[None, :, :], src)
+    nrhs = dest.shape[0]
+    if sparse:
+        flops = 2 * _nnz(tile) * nrhs
+        touched = _nnz(dest) + _nnz(tile) + _nnz(src)
+    else:
+        flops = gemm_flops_dense(tile.shape[0], tile.shape[1], nrhs)
+        touched = dest.size + tile.size + src.size
+    return KernelStats(flops=flops, bytes=8 * touched)

@@ -23,6 +23,13 @@ from repro.solvers.engine import (
     scale_stats,
 )
 from repro.solvers.tilepool import TileArena, TileViews
+from repro.solvers.sptrsv import (
+    RhsPool,
+    SolveResult,
+    SpTRSVContext,
+    SpTRSVEngine,
+    sptrsv_solve,
+)
 from repro.solvers.cpu import cpu_makespan
 from repro.solvers.superlu import SuperLUSolver
 from repro.solvers.pangulu import PanguLUSolver
@@ -45,6 +52,11 @@ __all__ = [
     "NumericBackend",
     "TileArena",
     "TileViews",
+    "RhsPool",
+    "SolveResult",
+    "SpTRSVContext",
+    "SpTRSVEngine",
+    "sptrsv_solve",
     "FactorizationResult",
     "resimulate",
     "scale_stats",

@@ -12,7 +12,7 @@ reassociation of commuting Schur updates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -25,6 +25,7 @@ from repro.gpusim.costmodel import GPUCostModel
 from repro.gpusim.specs import GPUSpec
 from repro.kernels.batched import (
     batch_kernels_enabled,
+    batch_solve_enabled,
     batched_geesm,
     batched_ssssm,
     batched_ssssm_products,
@@ -325,6 +326,32 @@ class NumericEngine:
         ).to_csr()
         return L, U
 
+    # ------------------------------------------------------------------
+    # solve phase
+    # ------------------------------------------------------------------
+    def solve(self, b: np.ndarray, scheduler: str = "trojan",
+              batch_kernels: bool | None = None) -> np.ndarray:
+        """Solve the *permuted* system ``L U x = b`` from the factored
+        tiles through the batched SpTRSV task DAGs.
+
+        The numeric tasks must have run (the tiles hold ``L\\U``).  This
+        is the engine-level entry of the Trojan-batched solve phase;
+        callers holding a :class:`FactorizationResult` should use its
+        :meth:`~FactorizationResult.solve`, which also applies the
+        fill-reducing permutation and honours ``REPRO_BATCH_SOLVE``.
+        """
+        from repro.solvers.sptrsv import SpTRSVContext
+
+        L, U = self.extract_factors()
+        lctx = SpTRSVContext(L, self.part, lower=True, unit_diagonal=True,
+                             sparse_tiles=self.sparse_tiles)
+        uctx = SpTRSVContext(U, self.part, lower=False,
+                             sparse_tiles=self.sparse_tiles)
+        y = lctx.solve(b, scheduler=scheduler,
+                       batch_kernels=batch_kernels).x
+        return uctx.solve(y, scheduler=scheduler,
+                          batch_kernels=batch_kernels).x
+
 
 class NumericBackend:
     """Backend wrapper that records exact per-task stats while executing.
@@ -407,9 +434,14 @@ class FactorizationResult:
     stats: dict[int, KernelStats]
     fill_nnz: int
     phase_seconds: dict[str, float]
+    #: cached (L, U) SpTRSV contexts for the batched solve path
+    _solve_ctx: "tuple | None" = field(default=None, repr=False,
+                                       compare=False)
 
     def solve(self, b: np.ndarray, refine: int = 0,
-              a: "CSRMatrix | None" = None) -> np.ndarray:
+              a: "CSRMatrix | None" = None,
+              batch_solve: bool | None = None,
+              solve_scheduler: str = "trojan") -> np.ndarray:
         """Solve ``A x = b`` with the computed factors.
 
         Applies the symmetric permutation: ``PAPᵀ = LU`` means
@@ -424,22 +456,89 @@ class FactorizationResult:
         a:
             The original (unpermuted) matrix, needed only for refinement
             residuals.
+        batch_solve:
+            Run the substitutions through the batched SpTRSV task DAGs
+            (:mod:`repro.solvers.sptrsv`) instead of the per-column CSR
+            recurrence.  ``None`` (default) reads the
+            ``REPRO_BATCH_SOLVE`` environment knob (off unless set).
+        solve_scheduler:
+            DAG-path scheduling policy (``trojan``, ``levelset``,
+            ``levelbatch``, ``serial``); ignored on the CSR path.
         """
         if refine and a is None:
             raise ValueError("iterative refinement needs the original matrix")
+        use_dag = (batch_solve_enabled() if batch_solve is None
+                   else bool(batch_solve))
+        if use_dag:
+            def sub(rhs):
+                return self._substitute_dag(rhs, solve_scheduler)
+        else:
+            sub = self._substitute
         b = np.asarray(b, dtype=np.float64)
-        x = self._substitute(b)
+        x = sub(b)
         for _ in range(refine):
             from repro.sparse import matvec
 
             r = b - matvec(a, x)
-            x = x + self._substitute(r)
+            x = x + sub(r)
         return x
+
+    def solve_per_column_oracle(self, b: np.ndarray, refine: int = 0,
+                                a: "CSRMatrix | None" = None) -> np.ndarray:
+        """Differential oracle for :meth:`solve` with ``batch_solve=True``.
+
+        Runs the identical permutation handling and refinement loop, but
+        substitutes through the tiled per-column serial path
+        (:meth:`~repro.solvers.sptrsv.SpTRSVContext.solve_per_column`).
+        The DAG path is bit-identical to this under every scheduler and
+        batch composition — the solve-phase battery pins it.
+        """
+        if refine and a is None:
+            raise ValueError("iterative refinement needs the original matrix")
+        b = np.asarray(b, dtype=np.float64)
+        x = self._substitute_oracle(b)
+        for _ in range(refine):
+            from repro.sparse import matvec
+
+            r = b - matvec(a, x)
+            x = x + self._substitute_oracle(r)
+        return x
+
+    def solve_contexts(self):
+        """The lazily-built ``(L, U)`` SpTRSV contexts (tile stamping and
+        triangularity validation happen once per factorisation)."""
+        if self._solve_ctx is None:
+            from repro.solvers.sptrsv import SpTRSVContext
+
+            part = self.dag.part
+            self._solve_ctx = (
+                SpTRSVContext(self.L, part, lower=True, unit_diagonal=True),
+                SpTRSVContext(self.U, part, lower=False),
+            )
+        return self._solve_ctx
 
     def _substitute(self, b: np.ndarray) -> np.ndarray:
         pb = b[self.perm] if b.ndim == 1 else b[self.perm, :]
         y = triangular_solve(self.L, pb, lower=True)
         z = triangular_solve(self.U, y, lower=False)
+        x = np.empty_like(z)
+        x[self.perm] = z
+        return x
+
+    def _substitute_dag(self, b: np.ndarray, scheduler: str) -> np.ndarray:
+        lctx, uctx = self.solve_contexts()
+        pb = b[self.perm] if b.ndim == 1 else b[self.perm, :]
+        y = lctx.solve(pb, scheduler=scheduler).x
+        z = uctx.solve(y, scheduler=scheduler).x
+        x = np.empty_like(z)
+        x[self.perm] = z
+        return x
+
+    def _substitute_oracle(self, b: np.ndarray) -> np.ndarray:
+        lctx, uctx = self.solve_contexts()
+        pb = b[self.perm] if b.ndim == 1 else b[self.perm, :]
+        y = lctx.solve_per_column(pb)
+        z = uctx.solve_per_column(y)
         x = np.empty_like(z)
         x[self.perm] = z
         return x

@@ -1,0 +1,368 @@
+"""Batched SpTRSV: DAG-scheduled blocked triangular solves.
+
+This is the solve-phase counterpart of :class:`NumericEngine`: the
+triangular factor's tiles live in a :class:`~repro.solvers.tilepool.TileArena`,
+the right-hand-side blocks live in a column-folded :class:`RhsPool`, and
+the tasks of :func:`repro.core.solve_dag.build_solve_dag` run through any
+scheduler in :func:`repro.core.solve_dag.make_solve_scheduler` — the full
+Prioritizer → Collector → Executor pipeline for ``trojan``, or the
+level-set / level-batch / serial baselines.
+
+Bit-identity is the testable contract: the canonical accumulation chains
+of the solve DAG fix each RHS block's update order, and every execution
+path — per-column oracle (:meth:`SpTRSVContext.solve_per_column`),
+per-task kernels, and the stacked batched kernels — performs the same
+``(m, k) @ (k, 1)`` per-column cores in that same order, so any
+scheduler and any batch composition produce the same bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dag import TaskDAG
+from repro.core.scheduler import ScheduleResult
+from repro.core.solve_dag import (
+    build_solve_dag,
+    make_solve_scheduler,
+    solve_sources,
+)
+from repro.core.task import Task, TaskType
+from repro.gpusim.costmodel import GPUCostModel
+from repro.gpusim.specs import GPUSpec, RTX5090
+from repro.kernels.batched import (
+    batch_kernels_enabled,
+    batched_sptrsv_diag,
+    batched_sptrsv_update,
+)
+from repro.kernels.dense import trsm_left_col
+from repro.kernels.tilekernels import (
+    KernelStats,
+    sptrsv_diag_kernel,
+    sptrsv_update_kernel,
+)
+from repro.solvers.tilepool import TileArena
+from repro.sparse import CSRMatrix
+from repro.sparse.blocking import Partition, block_pattern, uniform_partition
+
+
+class RhsPool:
+    """Column-folded pooled storage for one solve's RHS blocks.
+
+    RHS block ``i`` is stored as an ``(nrhs, m_i, 1)`` slice of a
+    per-size-class pool, so a kernel group's blocks gather into one
+    ``(B, nrhs, m, 1)`` stack with a single fancy index, and each
+    column stays an ``(m, 1)`` C-contiguous operand — the layout the
+    bit-identity contract of :mod:`repro.kernels.batched` relies on.
+    """
+
+    def __init__(self, part: Partition, b2: np.ndarray):
+        n, nrhs = b2.shape
+        if n != part.n:
+            raise ValueError("right-hand side does not cover the partition")
+        self.part = part
+        self.nrhs = nrhs
+        sizes = part.sizes()
+        usize, class_of = np.unique(sizes, return_inverse=True)
+        self._class = class_of.astype(np.int64)
+        self._slot = np.empty(part.nblocks, dtype=np.int64)
+        self.pools: list[np.ndarray] = []
+        self._members: list[np.ndarray] = []
+        for c, m in enumerate(usize.tolist()):
+            members = np.flatnonzero(class_of == c)
+            self._slot[members] = np.arange(members.size)
+            pool = np.empty((members.size, nrhs, int(m), 1))
+            for s, blk in enumerate(members.tolist()):
+                lo, hi = part.block_range(blk)
+                pool[s] = b2[lo:hi, :].T[:, :, None]
+            self.pools.append(pool)
+            self._members.append(members)
+
+    def view(self, blk: int) -> np.ndarray:
+        """Writable ``(nrhs, m, 1)`` view of one RHS block."""
+        return self.pools[int(self._class[blk])][int(self._slot[blk])]
+
+    def locate(self, blks: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized ``(class, slot)`` lookup for block-index arrays."""
+        blks = np.asarray(blks, dtype=np.int64)
+        return self._class[blks], self._slot[blks]
+
+    def gather(self) -> np.ndarray:
+        """Reassemble the ``(n, nrhs)`` solution array."""
+        out = np.empty((self.part.n, self.nrhs))
+        for pool, members in zip(self.pools, self._members):
+            for s, blk in enumerate(members.tolist()):
+                lo, hi = self.part.block_range(blk)
+                out[lo:hi, :] = pool[s, :, :, 0].T
+        return out
+
+
+@dataclass
+class SolveResult:
+    """One DAG-scheduled triangular solve's outcome."""
+
+    x: np.ndarray
+    scheduler: str
+    schedule: ScheduleResult
+    dag: TaskDAG
+    nrhs: int
+
+
+class SpTRSVContext:
+    """Reusable solve-phase state for one triangular factor.
+
+    Validates element-level triangularity up front, stamps the factor
+    tiles into a :class:`TileArena` once, and caches one solve DAG per
+    RHS width — repeated solves against the same factor (iterative
+    refinement, multiple right-hand sides over time) pay only the RHS
+    pooling and task execution.
+
+    Parameters
+    ----------
+    tri:
+        The triangular factor (CSR).  For a unit-diagonal solve the
+        stored diagonal is ignored by the kernels but tiles on the
+        diagonal must still exist (the engine's L factors store an
+        explicit unit diagonal).
+    part:
+        Tile partition.
+    lower:
+        Forward (lower) vs backward (upper) substitution.
+    unit_diagonal:
+        Take the diagonal as 1 instead of reading it.
+    sparse_tiles:
+        Sparse kernel accounting (matches the factorisation's flag).
+    """
+
+    def __init__(self, tri: CSRMatrix, part: Partition, lower: bool = True,
+                 unit_diagonal: bool = False, sparse_tiles: bool = False):
+        if tri.nrows != tri.ncols:
+            raise ValueError("triangular solve requires a square matrix")
+        if part.n != tri.nrows:
+            raise ValueError("partition does not cover the matrix")
+        rows = np.repeat(np.arange(tri.nrows, dtype=np.int64),
+                         tri.row_lengths())
+        if lower:
+            if not np.all(tri.indices <= rows):
+                raise ValueError("matrix is not lower triangular")
+        elif not np.all(tri.indices >= rows):
+            raise ValueError("matrix is not upper triangular")
+        self.tri = tri
+        self.part = part
+        self.lower = lower
+        self.unit_diagonal = unit_diagonal
+        self.sparse_tiles = sparse_tiles
+        nb = part.nblocks
+        pat = block_pattern(tri, part)
+        np.fill_diagonal(pat, True)  # every diagonal tile is solved against
+        self.pattern = pat
+        brow = part.block_of(rows)
+        bcol = part.block_of(tri.indices)
+        counts = np.bincount(brow * nb + bcol, minlength=nb * nb)
+        bi, bj = np.nonzero(pat)
+        self.tile_nnz = {
+            (int(i), int(j)): int(counts[i * nb + j])
+            for i, j in zip(bi, bj)
+        }
+        self.arena = TileArena(part, pat)
+        self.arena.stamp(tri)
+        self._dag_cache: dict[int, TaskDAG] = {}
+
+    def dag_for(self, nrhs: int) -> TaskDAG:
+        """The (cached) solve DAG for one RHS width."""
+        dag = self._dag_cache.get(nrhs)
+        if dag is None:
+            dag = build_solve_dag(
+                self.pattern, self.part, nrhs=nrhs, lower=self.lower,
+                tile_nnz=self.tile_nnz, sparse_tiles=self.sparse_tiles,
+            )
+            self._dag_cache[nrhs] = dag
+        return dag
+
+    # ------------------------------------------------------------------
+    # execution paths
+    # ------------------------------------------------------------------
+    def solve(self, b: np.ndarray, scheduler: str = "trojan",
+              gpu: GPUSpec = RTX5090,
+              batch_kernels: bool | None = None) -> SolveResult:
+        """Solve ``T x = b`` through the solve DAG under ``scheduler``.
+
+        ``b`` may be ``(n,)`` or ``(n, nrhs)``; the solution has the
+        same shape.  ``batch_kernels`` selects stacked kernel groups vs
+        per-task kernels inside each launch (``None`` reads
+        ``REPRO_BATCH_KERNELS``); both produce identical bits.
+        """
+        b = np.asarray(b, dtype=np.float64)
+        b2 = b.reshape(b.shape[0], -1) if b.ndim == 2 else b[:, None]
+        if b.ndim > 2 or b2.shape[0] != self.part.n:
+            raise ValueError("right-hand side shape does not match matrix")
+        rhs = RhsPool(self.part, b2)
+        dag = self.dag_for(b2.shape[1])
+        engine = SpTRSVEngine(self, rhs, batch_kernels=batch_kernels)
+        sched = make_solve_scheduler(scheduler, dag, engine,
+                                     GPUCostModel(gpu))
+        schedule = sched.run()
+        x2 = rhs.gather()
+        return SolveResult(
+            x=x2[:, 0] if b.ndim == 1 else x2,
+            scheduler=scheduler, schedule=schedule, dag=dag,
+            nrhs=b2.shape[1],
+        )
+
+    def solve_per_column(self, b: np.ndarray) -> np.ndarray:
+        """Per-column tiled substitution — the differential oracle.
+
+        Each RHS column is solved independently and serially in the
+        canonical block order, performing exactly the per-column
+        ``(m, k) @ (k, 1)`` cores of the DAG path's kernels: same
+        operations, same order, same operand layouts — bit-identical to
+        :meth:`solve` under every scheduler and batch composition.
+        """
+        b = np.asarray(b, dtype=np.float64)
+        b2 = (b.reshape(b.shape[0], -1) if b.ndim == 2
+              else b[:, None]).copy()
+        if b.ndim > 2 or b2.shape[0] != self.part.n:
+            raise ValueError("right-hand side shape does not match matrix")
+        part = self.part
+        nb = part.nblocks
+        order = range(nb) if self.lower else range(nb - 1, -1, -1)
+        for c in range(b2.shape[1]):
+            col = b2[:, c:c + 1].copy()
+            for dest in order:
+                lo, hi = part.block_range(dest)
+                dcol = col[lo:hi]
+                for src in solve_sources(self.pattern, dest, self.lower):
+                    slo, shi = part.block_range(src)
+                    dcol -= self.arena.view(dest, src) @ col[slo:shi]
+                trsm_left_col(self.arena.view(dest, dest), dcol,
+                              lower=self.lower,
+                              unit_diagonal=self.unit_diagonal)
+            b2[:, c] = col[:, 0]
+        return b2[:, 0] if b.ndim == 1 else b2
+
+
+class SpTRSVEngine:
+    """ExecutionBackend running solve tasks on arena + RHS pool storage.
+
+    One engine serves one solve (the :class:`RhsPool` is mutated in
+    place); the factor arena is shared across solves via the context.
+    """
+
+    def __init__(self, ctx: SpTRSVContext, rhs: RhsPool,
+                 batch_kernels: bool | None = None):
+        self.ctx = ctx
+        self.rhs = rhs
+        self.batch_kernels = (
+            batch_kernels_enabled() if batch_kernels is None
+            else bool(batch_kernels)
+        )
+
+    def run_task(self, task: Task, atomic: bool) -> KernelStats:
+        """Execute one solve task's arithmetic."""
+        ctx = self.ctx
+        if task.type == TaskType.SPTRSV_DIAG:
+            return sptrsv_diag_kernel(
+                self.rhs.view(task.i), ctx.arena.view(task.i, task.i),
+                lower=ctx.lower, unit_diagonal=ctx.unit_diagonal,
+                sparse=ctx.sparse_tiles,
+            )
+        if task.type == TaskType.SPTRSV_UPDATE:
+            return sptrsv_update_kernel(
+                self.rhs.view(task.i), ctx.arena.view(task.i, task.k),
+                self.rhs.view(task.k), sparse=ctx.sparse_tiles,
+            )
+        raise ValueError(f"not a solve task: {task.type.name}")
+
+    def run_batch_tasks(self, tids: np.ndarray, atomic: np.ndarray,
+                        arrays) -> tuple[int, int]:
+        """Execute one launch with stacked kernel groups.
+
+        DIAG tasks group by RHS size class (which pins the diagonal-tile
+        shape too); UPDATE tasks group by (dest class, src class), which
+        pins the factor-tile shape.  Co-batched tasks write distinct RHS
+        blocks — the canonical chains serialise same-destination updates
+        — so gather/compute/scatter per group is race-free.  Returns the
+        launch's total ``(flops, bytes)``.
+        """
+        tids = np.asarray(tids, dtype=np.int64)
+        n = tids.size
+        flops = np.zeros(n, dtype=np.int64)
+        nbytes = np.zeros(n, dtype=np.int64)
+        ctx = self.ctx
+        sp = ctx.sparse_tiles
+        code = arrays.type_code[tids]
+        kk = arrays.k[tids]
+        ii = arrays.i[tids]
+        if not self.batch_kernels or n == 1:
+            for idx in range(n):
+                i = int(ii[idx])
+                k = int(kk[idx])
+                if int(code[idx]) == int(TaskType.SPTRSV_DIAG):
+                    s = sptrsv_diag_kernel(
+                        self.rhs.view(i), ctx.arena.view(i, i),
+                        lower=ctx.lower, unit_diagonal=ctx.unit_diagonal,
+                        sparse=sp)
+                else:
+                    s = sptrsv_update_kernel(
+                        self.rhs.view(i), ctx.arena.view(i, k),
+                        self.rhs.view(k), sparse=sp)
+                flops[idx] = s.flops
+                nbytes[idx] = s.bytes
+            return int(flops.sum()), int(nbytes.sum())
+        pools = self.rhs.pools
+        sel = np.flatnonzero(code == int(TaskType.SPTRSV_DIAG))
+        if sel.size:
+            rcls, rslots = self.rhs.locate(ii[sel])
+            dcls, dslots = ctx.arena.locate(ii[sel], ii[sel])
+            for c in np.unique(rcls):
+                mask = rcls == c
+                mem = sel[mask]
+                pool = pools[int(c)]
+                gslots = rslots[mask]
+                bstack = pool[gslots]
+                dstack = ctx.arena.pools[int(dcls[mask][0])][dslots[mask]]
+                f, b = batched_sptrsv_diag(
+                    bstack, dstack, lower=ctx.lower,
+                    unit_diagonal=ctx.unit_diagonal, sparse=sp)
+                pool[gslots] = bstack
+                flops[mem] = f
+                nbytes[mem] = b
+        sel = np.flatnonzero(code == int(TaskType.SPTRSV_UPDATE))
+        if sel.size:
+            dcls, dslots = self.rhs.locate(ii[sel])
+            scls, sslots = self.rhs.locate(kk[sel])
+            tcls, tslots = ctx.arena.locate(ii[sel], kk[sel])
+            # (dest class, src class) pins both RHS shapes and therefore
+            # the factor-tile shape
+            key = dcls * len(pools) + scls
+            for kv in np.unique(key):
+                mask = key == kv
+                mem = sel[mask]
+                dpool = pools[int(dcls[mask][0])]
+                spool = pools[int(scls[mask][0])]
+                tpool = ctx.arena.pools[int(tcls[mask][0])]
+                gslots = dslots[mask]
+                dest = dpool[gslots]
+                f, b = batched_sptrsv_update(
+                    dest, tpool[tslots[mask]], spool[sslots[mask]],
+                    sparse=sp)
+                dpool[gslots] = dest
+                flops[mem] = f
+                nbytes[mem] = b
+        return int(flops.sum()), int(nbytes.sum())
+
+
+def sptrsv_solve(tri: CSRMatrix, b: np.ndarray, part: Partition | None = None,
+                 block_size: int = 64, lower: bool = True,
+                 unit_diagonal: bool = False, scheduler: str = "trojan",
+                 gpu: GPUSpec = RTX5090, sparse_tiles: bool = False
+                 ) -> SolveResult:
+    """One-shot DAG-scheduled triangular solve (convenience wrapper)."""
+    if part is None:
+        part = uniform_partition(tri.nrows, block_size)
+    ctx = SpTRSVContext(tri, part, lower=lower,
+                        unit_diagonal=unit_diagonal,
+                        sparse_tiles=sparse_tiles)
+    return ctx.solve(b, scheduler=scheduler, gpu=gpu)

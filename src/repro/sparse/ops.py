@@ -117,7 +117,21 @@ def triangular_solve(
     n = a.nrows
     if a.ncols != n:
         raise ValueError("triangular_solve requires a square matrix")
-    b = np.asarray(b, dtype=np.float64)
+    b = np.asarray(b)
+    if b.ndim not in (1, 2):
+        raise ValueError(
+            f"right-hand side must be 1-D or 2-D, got {b.ndim}-D"
+        )
+    if b.shape[0] != n:
+        raise ValueError(
+            f"right-hand side has {b.shape[0]} rows, matrix has {n}"
+        )
+    if not np.issubdtype(b.dtype, np.floating) \
+            and not np.issubdtype(b.dtype, np.integer):
+        raise TypeError(
+            f"right-hand side dtype {b.dtype} is not real-numeric"
+        )
+    b = b.astype(np.float64, copy=False)
     squeeze = b.ndim == 1
     x = b.reshape(n, -1).copy()
     order = range(n) if lower else range(n - 1, -1, -1)

@@ -14,6 +14,13 @@ Schedule case::
      "mutation": "reverse_batches",
      "expect": ["DEP_ORDER"]}
 
+Solve-schedule case (the SpTRSV DAGs of the solve phase)::
+
+    {"kind": "solve_schedule",
+     "solve_config": "poisson256_b8_lsolve_r4",
+     "mutation": "update_before_diag_solve",
+     "expect": ["DEP_ORDER"]}
+
 Trace case::
 
     {"kind": "trace",
@@ -31,7 +38,7 @@ import json
 import pathlib
 
 from repro.core.task import TaskType
-from repro.verify.golden import schedule_for_config
+from repro.verify.golden import schedule_for_config, solve_schedule_for_config
 from repro.verify.report import VerificationReport
 from repro.verify.schedule import ScheduleVerifier
 from repro.verify.trace import DistTrace, TraceVerifier
@@ -79,11 +86,47 @@ def _mutate_merge_all(batches, dag):
     return [[tid for b in batches for tid in b]]
 
 
+def _mutate_update_before_diag(batches, dag):
+    """Hoist the first RHS accumulate to the schedule front.
+
+    The update then runs before the diagonal solve of its *source*
+    block, consuming an unsolved RHS block — the accumulate-ordering
+    violation the solve DAG's edges exist to prevent.
+    """
+    tid = min(t.tid for t in dag.tasks
+              if t.type == TaskType.SPTRSV_UPDATE)
+    out = [[x for x in b if x != tid] for b in batches]
+    return [[tid]] + [b for b in out if b]
+
+
+def _mutate_co_schedule_rhs_updates(batches, dag):
+    """Put two accumulates of one RHS block into a single launch.
+
+    Solve tasks have no atomic escape hatch (their ordering is fixed by
+    the canonical chains), so the pair is a non-atomic write-write
+    conflict on the shared RHS tile.
+    """
+    by_dest: dict = {}
+    for t in dag.tasks:
+        if t.type == TaskType.SPTRSV_UPDATE:
+            by_dest.setdefault(t.i, []).append(t.tid)
+    dest = min(d for d, tids in by_dest.items() if len(tids) >= 2)
+    first, second = sorted(by_dest[dest])[:2]
+    out = [[x for x in b if x != second] for b in batches]
+    for b in out:
+        if first in b:
+            b.append(second)
+            break
+    return [b for b in out if b]
+
+
 MUTATIONS = {
     "reverse_batches": _mutate_reverse,
     "drop_last_batch": _mutate_drop_last,
     "co_schedule_write_conflict": _mutate_write_conflict,
     "merge_all_batches": _mutate_merge_all,
+    "update_before_diag_solve": _mutate_update_before_diag,
+    "co_schedule_rhs_updates": _mutate_co_schedule_rhs_updates,
 }
 
 
@@ -97,6 +140,14 @@ def run_case(case: dict, subject: str = "case") -> VerificationReport:
     kind = case.get("kind")
     if kind == "schedule":
         dag, gpu, records = schedule_for_config(case["golden_config"])
+        batches = [sorted(int(t) for t in b.task_ids) for b in records]
+        mutation = case.get("mutation")
+        if mutation is not None:
+            batches = MUTATIONS[mutation](batches, dag)
+        return ScheduleVerifier(dag, gpu=gpu).verify_batches(
+            batches, subject=subject)
+    if kind == "solve_schedule":
+        dag, gpu, records = solve_schedule_for_config(case["solve_config"])
         batches = [sorted(int(t) for t in b.task_ids) for b in records]
         mutation = case.get("mutation")
         if mutation is not None:

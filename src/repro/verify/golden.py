@@ -17,7 +17,10 @@ from __future__ import annotations
 import json
 import pathlib
 
+import numpy as np
+
 from repro.core import build_block_dag, make_scheduler
+from repro.core.solve_dag import build_solve_dag, make_solve_scheduler
 from repro.core.executor import EstimateBackend
 from repro.gpusim import GPUCostModel, RTX5060TI, RTX5090
 from repro.matrices import circuit_like, poisson2d
@@ -53,6 +56,44 @@ def golden_configs():
         ("circuit240_b16_trojan_cap24", wide, RTX5090,
          {"max_batch_tasks": 24}),
     ]
+
+
+def solve_golden_configs():
+    """The ``(name, dag, gpu)`` solve-phase (SpTRSV) configurations.
+
+    The DAGs are purely structural — built from the block fill of the
+    permuted matrix's triangular half, which is exactly the factor
+    pattern a numeric run would produce — so the adversarial gate needs
+    no factorisation to rebuild them.
+    """
+    def solve_dag_of(a, bs, nrhs, lower=True):
+        b = permute_symmetric(a, compute_ordering(a, "mindeg"))
+        part = uniform_partition(a.nrows, bs)
+        bf = block_fill(b, part)
+        pat = np.tril(bf) if lower else np.triu(bf)
+        return build_solve_dag(pat, part, nrhs=nrhs, lower=lower)
+
+    return [
+        ("poisson256_b8_lsolve_r4",
+         solve_dag_of(poisson2d(16), 8, 4), RTX5090),
+        ("circuit180_b12_usolve_r1",
+         solve_dag_of(circuit_like(180, seed=2), 12, 1, lower=False),
+         RTX5090),
+    ]
+
+
+def solve_schedule_for_config(name: str):
+    """Re-run the trojan scheduler for a named solve-phase config.
+
+    Returns ``(dag, gpu, batches)``, mirroring
+    :func:`schedule_for_config` for the solve DAGs.
+    """
+    for cfg_name, dag, gpu in solve_golden_configs():
+        if cfg_name == name:
+            result = make_solve_scheduler("trojan", dag, EstimateBackend(),
+                                          GPUCostModel(gpu)).run()
+            return dag, gpu, result.batches
+    raise KeyError(f"unknown solve golden config {name!r}")
 
 
 def golden_config_by_name(name: str):

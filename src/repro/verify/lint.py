@@ -23,8 +23,8 @@ see — they are properties of the *source*, not of any run:
     across engines; mutating one corrupts every later cache hit.
 
 ``tasktype-dispatch``
-    Dispatch tables keyed by ``TaskType.X`` literals must cover all four
-    kernel types, so adding a member can never silently fall through.
+    Dispatch tables keyed by ``TaskType.X`` literals must cover every
+    kernel type, so adding a member can never silently fall through.
 
 A finding is waived by putting ``# verify: waive(<rule>)`` on the
 offending line or the line directly above it — waivers are explicit and

@@ -25,6 +25,17 @@ exactly: several SSSSM updates may share a target tile inside one batch
 because the Executor flags them atomic and applies their stacked
 products serially in batch order; any *other* same-tile write pair, and
 any read of a tile a batch-mate writes, is a race.
+
+Solve-phase (SpTRSV) schedules verify through the identical machinery:
+both solve task types write their RHS block (encoded as tile ``(i, i)``),
+and SPTRSV_UPDATE additionally reads its *source* RHS block ``(k, k)`` —
+so an update co-batched with its source's diagonal solve is a
+read-write hazard, and two writers of one RHS block in a batch are a
+write-write hazard (solve tasks have no atomic escape hatch: the solve
+DAG's canonical accumulation chains serialise same-destination updates
+by construction, which is the static analogue of the SSSSM
+serial-apply rule).  Factor tiles are read-only during a solve, so
+their reads need no registration — nothing can write them.
 """
 
 from __future__ import annotations
@@ -95,14 +106,21 @@ class ScheduleVerifier:
             # factors its own tile in place (no foreign reads).  The
             # SSSSM *target* read is part of the atomic accumulate and is
             # deliberately not a read hazard (PR 3's serial-apply rule).
+            # Solve phase: SPTRSV_UPDATE reads its source RHS block
+            # (k,k); its destination accumulate-read mirrors the SSSSM
+            # target rule, and SPTRSV_DIAG's factor-tile read needs no
+            # entry because factor tiles are never written during a
+            # solve.
             tri = (code == int(TaskType.TSTRF)) | (code == int(TaskType.GEESM))
             sel_tri = np.flatnonzero(tri)
             sel_s = np.flatnonzero(self._is_atomic_type)
-            self._read_owner = np.concatenate([sel_tri, sel_s, sel_s])
+            sel_u = np.flatnonzero(code == int(TaskType.SPTRSV_UPDATE))
+            self._read_owner = np.concatenate([sel_tri, sel_s, sel_s, sel_u])
             self._read_tile = np.concatenate([
                 arrays.k[sel_tri] * nb + arrays.k[sel_tri],
                 arrays.i[sel_s] * nb + arrays.k[sel_s],
                 arrays.k[sel_s] * nb + arrays.j[sel_s],
+                arrays.k[sel_u] * nb + arrays.k[sel_u],
             ])
             self._blocks = arrays.cuda_blocks
             self._shmem = arrays.shared_mem

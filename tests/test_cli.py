@@ -55,6 +55,22 @@ class TestCommands:
         with pytest.raises(SystemExit):
             main(["factor"])
 
+    def test_sptrsv(self, capsys):
+        rc = main(["sptrsv", "--matrix", "c-71", "--scale", "0.5",
+                   "--nrhs", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "oracle bitwise" in out
+        assert "yes" in out
+        assert "L-solve" in out and "U-solve" in out
+        assert "levelset" in out and "trojan" in out
+
+    def test_sptrsv_rejects_unknown_scheduler(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["sptrsv", "--matrix", "c-71",
+                 "--solve-scheduler", "fifo"])
+
     def test_compare(self, capsys):
         rc = main(["compare", "--matrix", "c-71", "--scale", "0.5",
                    "--solver", "pangulu"])

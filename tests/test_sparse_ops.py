@@ -139,3 +139,34 @@ class TestTriangularSolve:
     def test_non_square_raises(self):
         with pytest.raises(ValueError):
             triangular_solve(CSRMatrix.empty((3, 4)), np.ones(4))
+
+    def test_zero_diagonal_error_names_row(self):
+        l = np.array([[1.0, 0.0, 0.0],
+                      [2.0, 0.0, 0.0],
+                      [3.0, 1.0, 4.0]])
+        with pytest.raises(ZeroDivisionError, match="row 1"):
+            triangular_solve(CSRMatrix.from_dense(l), np.ones(3), lower=True)
+
+    def test_rhs_wrong_ndim_raises(self, rng):
+        l = np.tril(rng.standard_normal((4, 4))) + 5 * np.eye(4)
+        with pytest.raises(ValueError, match="1-D or 2-D"):
+            triangular_solve(CSRMatrix.from_dense(l),
+                             np.ones((4, 2, 2)), lower=True)
+
+    def test_rhs_wrong_length_raises(self, rng):
+        l = np.tril(rng.standard_normal((4, 4))) + 5 * np.eye(4)
+        with pytest.raises(ValueError, match="4"):
+            triangular_solve(CSRMatrix.from_dense(l), np.ones(5), lower=True)
+
+    def test_rhs_non_numeric_dtype_raises(self, rng):
+        l = np.tril(rng.standard_normal((4, 4))) + 5 * np.eye(4)
+        with pytest.raises(TypeError, match="dtype"):
+            triangular_solve(CSRMatrix.from_dense(l),
+                             np.array(["a", "b", "c", "d"]), lower=True)
+
+    def test_integer_rhs_promoted(self, rng):
+        l = np.tril(rng.standard_normal((6, 6))) + 6 * np.eye(6)
+        b = np.arange(6)
+        x = triangular_solve(CSRMatrix.from_dense(l), b, lower=True)
+        assert x.dtype == np.float64
+        assert np.allclose(l @ x, b)

@@ -1,0 +1,132 @@
+"""Differential battery for the batched SpTRSV solve phase.
+
+The solve DAG decides *when* RHS blocks are solved and accumulated,
+never *what* arithmetic runs: the canonical accumulation chains fix the
+update order per destination block, and the stacked kernels fold the
+RHS into per-column cores identical to the serial recurrence.  The
+batched path must therefore be **bit-identical** to the tiled
+per-column oracle — not merely close — for every solver scenario, RHS
+width, scheduler and kernel-batching mode.  The CSR substitution path
+(the knob-off default) executes different (row-major scalar) arithmetic
+and is compared with ``allclose`` only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.solve_dag import SOLVE_SCHEDULER_NAMES
+from repro.matrices.generators import circuit_like, poisson2d
+from repro.solvers import SOLVER_REGISTRY
+from repro.sparse import matvec
+
+SCENARIOS = [
+    ("pangulu", "poisson"),
+    ("pangulu", "circuit"),
+    ("superlu", "poisson"),
+    ("superlu", "circuit"),
+    ("pastix", "poisson"),
+]
+
+_MATRICES = {
+    "poisson": lambda: poisson2d(16),
+    "circuit": lambda: circuit_like(180, seed=2),
+}
+
+_CACHE: dict = {}
+
+
+def _factored(solver: str, matrix: str):
+    """One factorisation per (solver, matrix), shared across tests."""
+    key = (solver, matrix)
+    if key not in _CACHE:
+        a = _MATRICES[matrix]()
+        _CACHE[key] = (a, SOLVER_REGISTRY[solver](a).factorize())
+    return _CACHE[key]
+
+
+def _rhs(a, nrhs: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    x_true = rng.standard_normal((a.nrows, nrhs))
+    b = np.column_stack([matvec(a, x_true[:, c]) for c in range(nrhs)])
+    return b if nrhs > 1 else b[:, 0]
+
+
+@pytest.mark.parametrize("solver,matrix", SCENARIOS,
+                         ids=[f"{s}-{m}" for s, m in SCENARIOS])
+@pytest.mark.parametrize("nrhs", [1, 4, 32])
+def test_batched_solve_bitwise_vs_oracle(solver, matrix, nrhs):
+    a, res = _factored(solver, matrix)
+    b = _rhs(a, nrhs)
+    x = res.solve(b, batch_solve=True)
+    oracle = res.solve_per_column_oracle(b)
+    assert x.shape == b.shape
+    assert np.array_equal(x, oracle), \
+        f"{solver}/{matrix} nrhs={nrhs}: batched x differs from oracle"
+
+
+@pytest.mark.parametrize("solver,matrix", SCENARIOS,
+                         ids=[f"{s}-{m}" for s, m in SCENARIOS])
+def test_batched_solve_close_to_csr_path(solver, matrix):
+    """The DAG path and the CSR path solve the same system; their bits
+    legitimately differ (different arithmetic), their values must not."""
+    a, res = _factored(solver, matrix)
+    b = _rhs(a, 4)
+    x_dag = res.solve(b, batch_solve=True)
+    x_csr = res.solve(b, batch_solve=False)
+    np.testing.assert_allclose(x_dag, x_csr, rtol=1e-9, atol=1e-12)
+
+
+@pytest.mark.parametrize("scheduler", SOLVE_SCHEDULER_NAMES)
+def test_every_solve_scheduler_bitwise_identical(scheduler):
+    """Batch decomposition is arithmetic-invariant: any legal schedule
+    of the solve DAG produces the same bits as the oracle."""
+    a, res = _factored("pangulu", "poisson")
+    b = _rhs(a, 8)
+    x = res.solve(b, batch_solve=True, solve_scheduler=scheduler)
+    assert np.array_equal(x, res.solve_per_column_oracle(b))
+
+
+@pytest.mark.parametrize("flag,expect_dag", [("1", True), ("0", False)])
+def test_batch_solve_env_knob(monkeypatch, flag, expect_dag):
+    """``REPRO_BATCH_SOLVE`` selects the substitution path when the
+    ``batch_solve`` argument is left unset."""
+    a, res = _factored("superlu", "poisson")
+    b = _rhs(a, 4)
+    monkeypatch.setenv("REPRO_BATCH_SOLVE", flag)
+    x_env = res.solve(b)
+    reference = res.solve(b, batch_solve=expect_dag)
+    assert np.array_equal(x_env, reference)
+    # and the knob never changes the default-off behaviour silently
+    monkeypatch.delenv("REPRO_BATCH_SOLVE")
+    assert np.array_equal(res.solve(b), res.solve(b, batch_solve=False))
+
+
+@pytest.mark.parametrize("refine", [0, 2])
+def test_refinement_bitwise_vs_oracle(refine):
+    """Iterative refinement composes substitutions; with the batched
+    path each sweep stays bit-identical to the oracle's sweep."""
+    a, res = _factored("pangulu", "circuit")
+    b = _rhs(a, 1)
+    x = res.solve(b, refine=refine, a=a, batch_solve=True)
+    oracle = res.solve_per_column_oracle(b, refine=refine, a=a)
+    assert np.array_equal(x, oracle)
+    x_true = np.linalg.solve(a.to_dense(), b)
+    assert np.linalg.norm(x - x_true) / np.linalg.norm(x_true) < 1e-8
+
+
+@pytest.mark.parametrize("batch_kernels", [True, False])
+def test_stacked_vs_per_task_kernels_bitwise(batch_kernels):
+    """Stacked kernel groups and per-task kernels share the folded
+    per-column arithmetic cores — identical bits either way."""
+    a, res = _factored("superlu", "circuit")
+    b = _rhs(a, 16)
+    lctx, uctx = res.solve_contexts()
+    pb = b[res.perm, :]
+    y = lctx.solve(pb, batch_kernels=batch_kernels).x
+    z = uctx.solve(y, batch_kernels=batch_kernels).x
+    y0 = lctx.solve_per_column(pb)
+    z0 = uctx.solve_per_column(y0)
+    assert np.array_equal(y, y0)
+    assert np.array_equal(z, z0)

@@ -18,7 +18,9 @@ def test_adversarial_cases_exist():
     names = {p.name for p in CASES}
     assert names == {"reversed_dep.json", "dropped_task.json",
                      "write_conflict.json", "over_budget.json",
-                     "unmatched_send.json", "dead_rank_send.json"}
+                     "unmatched_send.json", "dead_rank_send.json",
+                     "solve_update_before_diag.json",
+                     "solve_rhs_write_conflict.json"}
 
 
 @pytest.mark.parametrize("case", CASES, ids=lambda p: p.stem)

@@ -156,8 +156,16 @@ class TestTaskTypeDispatch:
 
     def test_full_table_fine(self):
         src = ("D = {TaskType.GETRF: f, TaskType.TSTRF: g,\n"
-               "     TaskType.GEESM: h, TaskType.SSSSM: k}\n")
+               "     TaskType.GEESM: h, TaskType.SSSSM: k,\n"
+               "     TaskType.SPTRSV_DIAG: d, TaskType.SPTRSV_UPDATE: u}\n")
         assert _codes(src) == []
+
+    def test_factor_only_table_flagged(self):
+        src = ("D = {TaskType.GETRF: f, TaskType.TSTRF: g,\n"
+               "     TaskType.GEESM: h, TaskType.SSSSM: k}\n")
+        found = lint_source(src)
+        assert [v.code for v in found] == [rep.LINT_TASKTYPE_DISPATCH]
+        assert "SPTRSV_DIAG" in found[0].message
 
     def test_non_tasktype_dict_ignored(self):
         assert _codes("D = {'a': 1}\n") == []
