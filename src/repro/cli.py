@@ -11,6 +11,8 @@ Examples::
         --faults tests/faults/chaos.json --seed 42 --verify
     python -m repro compare --matrix c-71 --solver superlu
     python -m repro sweep --count 24 --workers 4
+    python -m repro serve --port 7070 --max-inflight 4
+    python -m repro client --port 7070 --matrix c-71 --steps 10
     python -m repro verify
     python -m repro verify --case tests/golden/adversarial/reversed_dep.json
 """
@@ -32,7 +34,7 @@ from repro.io import read_matrix_market
 from repro.matrices import PAPER_MATRICES, paper_matrix, suite_kinds
 from repro.ordering import ORDERING_METHODS
 from repro.solvers import SOLVER_REGISTRY, resimulate
-from repro.sparse import matvec
+from repro.sparse import CSRMatrix, matvec
 from repro.sweep import (
     cache_stats_table,
     default_workers,
@@ -305,6 +307,112 @@ def cmd_verify(args) -> int:
     return 1 if total else 0
 
 
+def cmd_serve(args) -> int:
+    """Run the factorisation-as-a-service solver server (Ctrl-C stops)."""
+    import asyncio
+
+    from repro.serve import SolverServer
+
+    async def _run() -> None:
+        server = SolverServer(
+            host=args.host, port=args.port,
+            max_inflight=args.max_inflight, max_queue=args.max_queue,
+            batch_window=args.batch_window,
+            micro_batch=not args.no_micro_batch,
+            cache_capacity=args.cache_capacity,
+            default_deadline_ms=args.deadline_ms)
+        await server.start()
+        print(f"repro solver server on {server.host}:{server.port} "
+              f"(max_inflight={server.max_inflight}, "
+              f"queue={server.max_queue}, "
+              f"batch_window={server.batch_window * 1e3:.1f}ms)",
+              flush=True)
+        await server.serve_until_stopped()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("server stopped")
+    return 0
+
+
+def cmd_client(args) -> int:
+    """Drive a demo workload against a running server and print stats.
+
+    The seed scenario of the serve subsystem: one cold factorize, a
+    Newton-style refactorise loop (same pattern, perturbed values, one
+    solve per step), then a burst of pipelined multi-RHS solves that
+    exercises the server's cross-request micro-batching.
+    """
+    import time as _time
+
+    from repro.serve import SolverClient
+
+    a = _load_matrix(args)
+    rng = np.random.default_rng(args.seed)
+    rows = np.repeat(np.arange(a.nrows, dtype=np.int64), a.row_lengths())
+    off = rows != a.indices
+    with SolverClient(args.host, args.port) as client:
+        client.ping()
+        t0 = _time.perf_counter()
+        info = client.factorize(a, solver=args.solver,
+                                ordering=args.ordering)
+        cold = _time.perf_counter() - t0
+        session = info["session"]
+        print(f"cold factorize: n={info['n']} fill={info['fill_nnz']} "
+              f"{cold * 1e3:.1f}ms (fast_path={info['fast_path']})")
+        worst = 0.0
+        refact = []
+        for _ in range(args.steps):
+            data = a.data.copy()
+            data[off] *= 1.0 + 0.05 * rng.standard_normal(int(off.sum()))
+            t0 = _time.perf_counter()
+            client.refactorize(session, data=data)
+            refact.append(_time.perf_counter() - t0)
+            step = CSRMatrix(a.shape, a.indptr, a.indices, data)
+            x_true = rng.standard_normal(a.nrows)
+            b = matvec(step, x_true)
+            x = client.solve(session, b, refine=args.refine)
+            worst = max(worst, float(np.linalg.norm(x - x_true)
+                                     / np.linalg.norm(x_true)))
+        if refact:
+            print(f"refactorise loop: {args.steps} steps, "
+                  f"mean {np.mean(refact) * 1e3:.1f}ms "
+                  f"({cold / np.mean(refact):.1f}x faster than cold), "
+                  f"worst relative error {worst:.2e}")
+        bs = [rng.standard_normal(a.nrows) for _ in range(args.burst)]
+        t0 = _time.perf_counter()
+        client.solve_many(session, bs, batch_solve=True)
+        burst = _time.perf_counter() - t0
+        print(f"solve burst: {args.burst} pipelined requests in "
+              f"{burst * 1e3:.1f}ms "
+              f"({args.burst / burst:.1f} req/s)")
+        stats = client.stats()
+        m = stats["metrics"]
+        rows_out = [["requests", sum(m["requests"].values())],
+                    ["rejections", sum(m["rejections"].values()) or 0],
+                    ["queue peak", m["queue"]["peak"]],
+                    ["batch launches", m["batching"]["launches"]],
+                    ["mean batch requests",
+                     round(m["batching"]["mean_requests"], 2)],
+                    ["session-cache hit rate",
+                     round(m["session_cache"]["hit_rate"], 3)],
+                    ["analysis-cache hit rate",
+                     round(stats["analysis_cache"]["hit_rate"], 3)]]
+        solve_lat = m["latency"].get("solve", {}).get("total")
+        if solve_lat:
+            rows_out.append(["solve p50 (ms)",
+                            round(solve_lat["p50_ms"], 2)])
+            rows_out.append(["solve p99 (ms)",
+                            round(solve_lat["p99_ms"], 2)])
+        print(format_table(["metric", "value"], rows_out,
+                           title="server stats"))
+        if args.shutdown:
+            client.shutdown()
+            print("server shutdown requested")
+    return 0
+
+
 def cmd_sweep(args) -> int:
     """Run the Figure-10 collection sweep, optionally multiprocess."""
     if args.workers is not None and args.workers < 1:
@@ -385,6 +493,39 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run the TraceVerifier on the recorded trace "
                         "(violations exit 1)")
 
+    srv = sub.add_parser(
+        "serve", help="run the long-lived solver server")
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=7070,
+                     help="TCP port (0 picks a free one)")
+    srv.add_argument("--max-inflight", type=int, default=4,
+                     help="concurrently executing numeric requests")
+    srv.add_argument("--max-queue", type=int, default=64,
+                     help="admission-queue bound (beyond: OVERLOADED)")
+    srv.add_argument("--batch-window", type=float, default=0.002,
+                     help="seconds a solve waits for micro-batch company")
+    srv.add_argument("--no-micro-batch", action="store_true",
+                     help="disable cross-request solve folding")
+    srv.add_argument("--cache-capacity", type=int, default=32,
+                     help="pattern-keyed analysis-cache entries")
+    srv.add_argument("--deadline-ms", type=float, default=None,
+                     help="default per-request deadline while queued")
+
+    cl = sub.add_parser(
+        "client", help="drive a demo workload against a running server")
+    common(cl)
+    cl.add_argument("--host", default="127.0.0.1")
+    cl.add_argument("--port", type=int, default=7070)
+    cl.add_argument("--steps", type=int, default=10,
+                    help="Newton-style refactorise+solve steps")
+    cl.add_argument("--burst", type=int, default=16,
+                    help="pipelined solves in the micro-batch burst")
+    cl.add_argument("--refine", type=int, default=1,
+                    help="refinement sweeps per loop solve")
+    cl.add_argument("--seed", type=int, default=0)
+    cl.add_argument("--shutdown", action="store_true",
+                    help="ask the server to exit afterwards")
+
     w = sub.add_parser(
         "sweep", help="Figure-10 collection sweep over a worker pool")
     w.add_argument("--count", type=int, default=200,
@@ -426,6 +567,8 @@ def main(argv=None) -> int:
         "compare": cmd_compare,
         "scaleout": cmd_scaleout,
         "distsim": cmd_distsim,
+        "serve": cmd_serve,
+        "client": cmd_client,
         "sweep": cmd_sweep,
         "verify": cmd_verify,
     }

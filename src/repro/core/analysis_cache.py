@@ -21,6 +21,7 @@ analysis too.
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 from typing import Any, Callable
 
@@ -50,6 +51,15 @@ def partition_digest(part) -> str:
 class AnalysisCache:
     """Bounded LRU over namespaced analysis keys.
 
+    Thread-safe: the solver server shares one cache across concurrent
+    connections, so every compound operation — the hit/miss counters,
+    the LRU move-to-front, eviction, and the :meth:`stats` snapshot —
+    runs under one re-entrant lock.  On a miss the ``factory`` executes
+    *inside* the lock: concurrent same-key lookups compute the analysis
+    exactly once and everyone shares the single cached product (the
+    analyses are pure, so holding the lock is safe; it trades some
+    cross-pattern compute overlap for single-compute semantics).
+
     Parameters
     ----------
     capacity:
@@ -64,6 +74,7 @@ class AnalysisCache:
             raise ValueError("cache capacity must be positive")
         self.capacity = int(capacity)
         self._store: OrderedDict[str, Any] = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -72,48 +83,62 @@ class AnalysisCache:
     # generic LRU plumbing
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._store)
+        with self._lock:
+            return len(self._store)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._store
+        with self._lock:
+            return key in self._store
 
     def get_or_compute(self, key: str, factory: Callable[[], Any]) -> Any:
         """Return the cached value for ``key``, computing it on a miss."""
-        if key in self._store:
-            self.hits += 1
-            self._store.move_to_end(key)
-            return self._store[key]
-        self.misses += 1
-        value = factory()
-        self._store[key] = value
-        if len(self._store) > self.capacity:
-            self._store.popitem(last=False)
-            self.evictions += 1
-        return value
+        with self._lock:
+            if key in self._store:
+                self.hits += 1
+                self._store.move_to_end(key)
+                return self._store[key]
+            self.misses += 1
+            value = factory()
+            self._store[key] = value
+            if len(self._store) > self.capacity:
+                self._store.popitem(last=False)
+                self.evictions += 1
+            return value
 
     def clear(self) -> None:
         """Drop every entry and reset the accounting."""
-        self._store.clear()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        with self._lock:
+            self._store.clear()
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
+
+    #: counter-reset alias — the server's ``stats`` op documents both
+    reset = clear
 
     @property
     def hit_rate(self) -> float:
         """Fraction of lookups served from the cache."""
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
 
     def stats(self) -> dict:
-        """Accounting snapshot for benches and tests."""
-        return {
-            "entries": len(self._store),
-            "capacity": self.capacity,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "hit_rate": self.hit_rate,
-        }
+        """Accounting snapshot for benches and tests.
+
+        Taken atomically: ``hits + misses`` always equals the number of
+        completed lookups even while other threads are mid-lookup.
+        """
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "entries": len(self._store),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": self.hits / total if total else 0.0,
+            }
 
     # ------------------------------------------------------------------
     # the two analysis namespaces

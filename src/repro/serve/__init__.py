@@ -1,0 +1,30 @@
+"""Factorisation-as-a-service: the long-lived solver server.
+
+``repro.serve`` turns the library into a resident service that
+amortises symbolic analysis (shared pattern-keyed cache), tile storage
+(warm per-session :class:`~repro.solvers.tilepool.TileArena` pools and
+lazily-built SpTRSV contexts) and kernel batching (cross-request
+multi-RHS folding) across *requests* — the serving analogue of the
+paper's aggregate-and-batch strategy.  See DESIGN.md §"Serving".
+
+Entry points: ``python -m repro serve`` (server), ``python -m repro
+client`` (demo workload driver), :class:`SolverClient` (library use),
+:class:`BackgroundServer` (in-process server for tests and benches).
+"""
+
+from repro.serve.client import ServerError, SolverClient
+from repro.serve.metrics import ServerMetrics
+from repro.serve.protocol import ProtocolError, pack_message, read_message_sync
+from repro.serve.server import BackgroundServer, ServeError, SolverServer
+
+__all__ = [
+    "BackgroundServer",
+    "ProtocolError",
+    "ServeError",
+    "ServerError",
+    "ServerMetrics",
+    "SolverClient",
+    "SolverServer",
+    "pack_message",
+    "read_message_sync",
+]

@@ -1,0 +1,195 @@
+"""Synchronous client for the solver server.
+
+One TCP connection, length-prefixed JSON+binary frames (see
+:mod:`repro.serve.protocol`).  Requests carry monotonically increasing
+ids; normal calls are lock-step (send one, read one), while
+:meth:`SolverClient.solve_many` pipelines several solve requests onto
+the wire before reading any response — the deterministic way to land in
+the server's same-session micro-batch window from a single client.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import numpy as np
+
+from repro.serve.protocol import (
+    csr_arrays,
+    pack_message,
+    read_message_sync,
+)
+
+
+class ServerError(Exception):
+    """An error response from the server, with its stable wire code."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(f"{code}: {message}")
+        self.code = code
+
+
+class SolverClient:
+    """Blocking client for one server connection (context manager).
+
+    Thread-safe per instance: the wire is guarded by a lock, so a
+    client object can be shared, but sharing serialises requests —
+    concurrent load generators should open one client per thread.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 120.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._fh = self._sock.makefile("rwb")
+        self._lock = threading.Lock()
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        try:
+            self._fh.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "SolverClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # wire plumbing
+    # ------------------------------------------------------------------
+    def _send(self, header: dict, arrays: "dict | None" = None) -> int:
+        rid = self._next_id
+        self._next_id += 1
+        header = dict(header, id=rid)
+        self._fh.write(pack_message(header, arrays))
+        self._fh.flush()
+        return rid
+
+    def _recv(self) -> tuple[dict, dict]:
+        return read_message_sync(self._fh)
+
+    @staticmethod
+    def _raise_on_error(header: dict) -> dict:
+        if not header.get("ok"):
+            raise ServerError(header.get("error", "UNKNOWN"),
+                              header.get("message", ""))
+        return header
+
+    def _request(self, header: dict, arrays: "dict | None" = None
+                 ) -> tuple[dict, dict]:
+        with self._lock:
+            rid = self._send(header, arrays)
+            resp, resp_arrays = self._recv()
+        if resp.get("id") != rid:
+            raise ServerError("PROTOCOL",
+                              f"response id {resp.get('id')} for request "
+                              f"{rid}")
+        return self._raise_on_error(resp), resp_arrays
+
+    # ------------------------------------------------------------------
+    # the request vocabulary
+    # ------------------------------------------------------------------
+    def ping(self) -> bool:
+        """Round-trip liveness check."""
+        self._request({"op": "ping"})
+        return True
+
+    def analyze(self, a, solver: str = "pangulu", **options) -> dict:
+        """Warm the server's analysis cache for this pattern."""
+        header = {"op": "analyze", "solver": solver,
+                  "shape": list(a.shape), **options}
+        resp, _ = self._request(header, csr_arrays(a))
+        return resp
+
+    def factorize(self, a, solver: str = "pangulu",
+                  deadline_ms: "float | None" = None, **options) -> dict:
+        """Factorise (or fast-path refactorise a resident same-pattern
+        session) and return the session id + schedule summary."""
+        header = {"op": "factorize", "solver": solver,
+                  "shape": list(a.shape), **options}
+        if deadline_ms is not None:
+            header["deadline_ms"] = deadline_ms
+        resp, _ = self._request(header, csr_arrays(a))
+        return resp
+
+    def refactorize(self, session: str, a=None, data=None,
+                    deadline_ms: "float | None" = None) -> dict:
+        """Value-only refactorisation of a resident session.
+
+        Send either the full matrix ``a`` or just the new ``data``
+        stream (aligned with the session's stored nonzeros) — the
+        cheapest possible Newton-step request.
+        """
+        header: dict = {"op": "refactorize", "session": session}
+        if deadline_ms is not None:
+            header["deadline_ms"] = deadline_ms
+        if a is not None:
+            header["shape"] = list(a.shape)
+            arrays = csr_arrays(a)
+        elif data is not None:
+            arrays = {"data": np.asarray(data, dtype=np.float64)}
+        else:
+            raise ValueError("refactorize needs a matrix or a data array")
+        resp, _ = self._request(header, arrays)
+        return resp
+
+    def solve(self, session: str, b: np.ndarray, refine: int = 0,
+              batch_solve: "bool | None" = None,
+              solve_scheduler: str = "trojan",
+              deadline_ms: "float | None" = None) -> np.ndarray:
+        """Solve against a resident session's warm factors."""
+        header = self._solve_header(session, refine, batch_solve,
+                                    solve_scheduler, deadline_ms)
+        _, arrays = self._request(
+            header, {"b": np.asarray(b, dtype=np.float64)})
+        return arrays["x"]
+
+    def solve_many(self, session: str, bs, refine: int = 0,
+                   batch_solve: "bool | None" = None,
+                   solve_scheduler: str = "trojan",
+                   deadline_ms: "float | None" = None) -> list:
+        """Pipeline several solves; returns solutions in request order.
+
+        All requests hit the wire before any response is read, so on
+        the server they land in one micro-batch window and (on the DAG
+        path) fold into a single multi-RHS SpTRSV launch.
+        """
+        with self._lock:
+            rids = [self._send(self._solve_header(
+                session, refine, batch_solve, solve_scheduler,
+                deadline_ms), {"b": np.asarray(b, dtype=np.float64)})
+                for b in bs]
+            by_id = {}
+            for _ in rids:
+                resp, arrays = self._recv()
+                by_id[resp.get("id")] = (resp, arrays)
+        out = []
+        for rid in rids:
+            resp, arrays = by_id[rid]
+            self._raise_on_error(resp)
+            out.append(arrays["x"])
+        return out
+
+    @staticmethod
+    def _solve_header(session, refine, batch_solve, solve_scheduler,
+                      deadline_ms) -> dict:
+        header: dict = {"op": "solve", "session": session,
+                        "refine": int(refine),
+                        "solve_scheduler": solve_scheduler}
+        if batch_solve is not None:
+            header["batch_solve"] = bool(batch_solve)
+        if deadline_ms is not None:
+            header["deadline_ms"] = deadline_ms
+        return header
+
+    def stats(self) -> dict:
+        """The server's instrumentation snapshot."""
+        resp, _ = self._request({"op": "stats"})
+        return resp
+
+    def shutdown(self) -> None:
+        """Ask the server to stop accepting connections and exit."""
+        self._request({"op": "shutdown"})

@@ -1,0 +1,154 @@
+"""End-to-end instrumentation for the solver server.
+
+Everything the ``stats`` request surfaces lives here: per-op request
+counters, per-phase latency windows (queue wait, execute, total) with
+percentile summaries, the admission-queue depth gauge, rejection
+tallies, and the micro-batch occupancy record (how many requests and
+RHS columns each folded SpTRSV launch carried).
+
+The server mutates metrics from the asyncio event loop *and* reads them
+from worker threads finishing ``asyncio.to_thread`` work, so every
+compound update takes the internal lock — same discipline as
+:class:`~repro.core.analysis_cache.AnalysisCache`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+import numpy as np
+
+#: Latency observations retained per (op, phase) window; old samples
+#: roll off so a long-lived server's snapshot stays O(window).
+DEFAULT_WINDOW = 4096
+
+#: Latency phases every admitted request passes through.
+PHASES = ("queue", "execute", "total")
+
+
+def _percentiles(samples) -> dict:
+    """p50/p90/p99 + mean/max summary of one latency window, in ms."""
+    arr = np.asarray(samples, dtype=np.float64) * 1e3
+    return {
+        "count": int(arr.size),
+        "mean_ms": float(arr.mean()),
+        "p50_ms": float(np.percentile(arr, 50)),
+        "p90_ms": float(np.percentile(arr, 90)),
+        "p99_ms": float(np.percentile(arr, 99)),
+        "max_ms": float(arr.max()),
+    }
+
+
+class ServerMetrics:
+    """Thread-safe counters, gauges and latency windows."""
+
+    def __init__(self, window: int = DEFAULT_WINDOW):
+        self._lock = threading.Lock()
+        self._window = int(window)
+        self._requests: dict[str, int] = {}
+        self._errors: dict[str, int] = {}
+        self._rejections: dict[str, int] = {}
+        self._latency: dict[tuple[str, str], deque] = {}
+        self._queue_depth = 0
+        self._queue_peak = 0
+        self._batch_requests: deque = deque(maxlen=window)
+        self._batch_columns: deque = deque(maxlen=window)
+        self._session_hits = 0
+        self._session_misses = 0
+
+    # ------------------------------------------------------------------
+    # request lifecycle
+    # ------------------------------------------------------------------
+    def request(self, op: str) -> None:
+        """Count one received request."""
+        with self._lock:
+            self._requests[op] = self._requests.get(op, 0) + 1
+
+    def error(self, op: str) -> None:
+        """Count one request that finished with an error response."""
+        with self._lock:
+            self._errors[op] = self._errors.get(op, 0) + 1
+
+    def rejection(self, reason: str) -> None:
+        """Count one admission rejection (``overloaded``/``deadline``)."""
+        with self._lock:
+            self._rejections[reason] = self._rejections.get(reason, 0) + 1
+
+    def observe(self, op: str, phase: str, seconds: float) -> None:
+        """Record one latency sample for ``(op, phase)``."""
+        with self._lock:
+            key = (op, phase)
+            dq = self._latency.get(key)
+            if dq is None:
+                dq = self._latency[key] = deque(maxlen=self._window)
+            dq.append(float(seconds))
+
+    # ------------------------------------------------------------------
+    # gauges and batch accounting
+    # ------------------------------------------------------------------
+    def queue_enter(self) -> None:
+        """A request joined the admission queue."""
+        with self._lock:
+            self._queue_depth += 1
+            self._queue_peak = max(self._queue_peak, self._queue_depth)
+
+    def queue_exit(self) -> None:
+        """A request left the admission queue (admitted or rejected)."""
+        with self._lock:
+            self._queue_depth -= 1
+
+    @property
+    def queue_depth(self) -> int:
+        """Current number of queued-or-running admitted requests."""
+        with self._lock:
+            return self._queue_depth
+
+    def batch(self, requests: int, columns: int) -> None:
+        """Record one micro-batched solve launch's occupancy."""
+        with self._lock:
+            self._batch_requests.append(int(requests))
+            self._batch_columns.append(int(columns))
+
+    def session_lookup(self, hit: bool) -> None:
+        """Record one pattern-keyed session-cache lookup."""
+        with self._lock:
+            if hit:
+                self._session_hits += 1
+            else:
+                self._session_misses += 1
+
+    # ------------------------------------------------------------------
+    # snapshot
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """One consistent JSON-serialisable view of everything."""
+        with self._lock:
+            latency: dict[str, dict] = {}
+            for (op, phase), dq in self._latency.items():
+                if dq:
+                    latency.setdefault(op, {})[phase] = _percentiles(dq)
+            session_total = self._session_hits + self._session_misses
+            breq = list(self._batch_requests)
+            bcol = list(self._batch_columns)
+            return {
+                "requests": dict(self._requests),
+                "errors": dict(self._errors),
+                "rejections": dict(self._rejections),
+                "latency": latency,
+                "queue": {"depth": self._queue_depth,
+                          "peak": self._queue_peak},
+                "batching": {
+                    "launches": len(breq),
+                    "mean_requests": (float(np.mean(breq)) if breq else 0.0),
+                    "mean_columns": (float(np.mean(bcol)) if bcol else 0.0),
+                    "max_requests": (max(breq) if breq else 0),
+                    "max_columns": (max(bcol) if bcol else 0),
+                },
+                "session_cache": {
+                    "hits": self._session_hits,
+                    "misses": self._session_misses,
+                    "hit_rate": (self._session_hits / session_total
+                                 if session_total else 0.0),
+                },
+            }

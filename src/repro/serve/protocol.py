@@ -1,0 +1,185 @@
+"""Length-prefixed JSON + binary wire protocol for the solver server.
+
+One message = a 4-byte big-endian header length, the UTF-8 JSON header,
+then the raw bytes of every array the header declares, concatenated in
+declaration order.  The header carries the small structured fields (op,
+request id, options, scalars); matrices and right-hand sides travel as
+binary little-endian C-contiguous blobs described by ``arrays`` specs —
+no base64 inflation, no JSON float round-tripping, so a solve response's
+``x`` is the solver's bits exactly.
+
+Both framing directions are symmetric; the asyncio server reads with
+:func:`read_message` and the synchronous client with
+:func:`read_message_sync` over a socket file object.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import numpy as np
+
+#: 4-byte big-endian frame prefix (header byte count).
+_LEN = struct.Struct(">I")
+
+#: Upper bound on a JSON header, far above any real request.
+MAX_HEADER_BYTES = 8 << 20
+
+#: Upper bound on one declared array (1 GiB); a malformed or hostile
+#: header cannot make the receiver allocate unbounded memory.
+MAX_ARRAY_BYTES = 1 << 30
+
+#: dtypes allowed on the wire (everything the solver exchanges).
+WIRE_DTYPES = ("float64", "int64", "int32")
+
+
+class ProtocolError(Exception):
+    """Malformed frame, header, or array declaration."""
+
+
+def _check_specs(specs) -> list:
+    """Validate array declarations before any allocation happens."""
+    if not isinstance(specs, list):
+        raise ProtocolError("'arrays' must be a list of specs")
+    out = []
+    for spec in specs:
+        name = spec.get("name")
+        dtype = spec.get("dtype")
+        shape = spec.get("shape")
+        if not isinstance(name, str):
+            raise ProtocolError("array spec without a name")
+        if dtype not in WIRE_DTYPES:
+            raise ProtocolError(f"array dtype {dtype!r} not allowed on "
+                                f"the wire (allowed: {WIRE_DTYPES})")
+        if (not isinstance(shape, list)
+                or any((not isinstance(d, int)) or d < 0 for d in shape)):
+            raise ProtocolError(f"bad shape for array {name!r}: {shape!r}")
+        nbytes = int(np.prod(shape, dtype=np.int64)) * np.dtype(dtype).itemsize
+        if nbytes > MAX_ARRAY_BYTES:
+            raise ProtocolError(f"array {name!r} exceeds the wire size cap")
+        out.append((name, dtype, tuple(shape), nbytes))
+    return out
+
+
+def pack_message(header: dict, arrays: "dict[str, np.ndarray] | None" = None
+                 ) -> bytes:
+    """Serialise one message (header + arrays) into wire bytes."""
+    arrays = arrays or {}
+    specs = []
+    blobs = []
+    for name, arr in arrays.items():
+        arr = np.ascontiguousarray(arr)
+        if str(arr.dtype) not in WIRE_DTYPES:
+            raise ProtocolError(f"array {name!r} has non-wire dtype "
+                                f"{arr.dtype}")
+        specs.append({"name": name, "dtype": str(arr.dtype),
+                      "shape": list(arr.shape)})
+        blobs.append(arr.tobytes())
+    head = dict(header)
+    head["arrays"] = specs
+    hb = json.dumps(head, separators=(",", ":")).encode("utf-8")
+    if len(hb) > MAX_HEADER_BYTES:
+        raise ProtocolError("header exceeds the wire size cap")
+    return b"".join([_LEN.pack(len(hb)), hb] + blobs)
+
+
+def _decode(hb: bytes, payload_of) -> tuple[dict, dict]:
+    """Shared header decode + array materialisation.
+
+    ``payload_of(nbytes)`` returns exactly that many payload bytes; the
+    sync and asyncio readers differ only in how they produce them.
+    """
+    try:
+        header = json.loads(hb.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable header: {exc}") from exc
+    if not isinstance(header, dict):
+        raise ProtocolError("header must be a JSON object")
+    arrays = {}
+    for name, dtype, shape, nbytes in _check_specs(header.pop("arrays", [])):
+        raw = payload_of(nbytes)
+        arrays[name] = np.frombuffer(raw, dtype=dtype).reshape(shape).copy()
+    return header, arrays
+
+
+async def read_message(reader) -> tuple[dict, dict]:
+    """Read one message from an ``asyncio.StreamReader``.
+
+    Raises ``EOFError`` on a clean end-of-stream before any frame byte,
+    :class:`ProtocolError` on malformed frames.
+    """
+    prefix = await reader.read(_LEN.size)
+    if not prefix:
+        raise EOFError("connection closed")
+    if len(prefix) < _LEN.size:
+        prefix += await reader.readexactly(_LEN.size - len(prefix))
+    (hlen,) = _LEN.unpack(prefix)
+    if hlen > MAX_HEADER_BYTES:
+        raise ProtocolError("header exceeds the wire size cap")
+    hb = await reader.readexactly(hlen)
+    try:
+        header = json.loads(hb.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable header: {exc}") from exc
+    if not isinstance(header, dict):
+        raise ProtocolError("header must be a JSON object")
+    arrays = {}
+    for name, dtype, shape, nbytes in _check_specs(header.pop("arrays", [])):
+        raw = await reader.readexactly(nbytes)
+        arrays[name] = np.frombuffer(raw, dtype=dtype).reshape(shape).copy()
+    return header, arrays
+
+
+def read_message_sync(fh) -> tuple[dict, dict]:
+    """Read one message from a blocking binary file object (socket file)."""
+
+    def _exactly(n: int) -> bytes:
+        buf = b""
+        while len(buf) < n:
+            chunk = fh.read(n - len(buf))
+            if not chunk:
+                raise EOFError("connection closed")
+            buf += chunk
+        return buf
+
+    prefix = fh.read(_LEN.size)
+    if not prefix:
+        raise EOFError("connection closed")
+    if len(prefix) < _LEN.size:
+        prefix += _exactly(_LEN.size - len(prefix))
+    (hlen,) = _LEN.unpack(prefix)
+    if hlen > MAX_HEADER_BYTES:
+        raise ProtocolError("header exceeds the wire size cap")
+    return _decode(_exactly(hlen), _exactly)
+
+
+# ----------------------------------------------------------------------
+# matrix framing helpers
+# ----------------------------------------------------------------------
+def csr_arrays(a) -> dict:
+    """The three wire arrays of one CSR matrix."""
+    return {"indptr": a.indptr, "indices": a.indices, "data": a.data}
+
+
+def csr_from_arrays(header: dict, arrays: dict):
+    """Rebuild a CSR matrix from a request's ``shape`` + arrays."""
+    from repro.sparse import CSRMatrix
+
+    shape = header.get("shape")
+    if (not isinstance(shape, list) or len(shape) != 2
+            or any((not isinstance(d, int)) or d <= 0 for d in shape)):
+        raise ProtocolError(f"bad matrix shape: {shape!r}")
+    for name in ("indptr", "indices", "data"):
+        if name not in arrays:
+            raise ProtocolError(f"matrix request missing array {name!r}")
+    indptr = arrays["indptr"]
+    indices = arrays["indices"]
+    data = arrays["data"]
+    if indptr.ndim != 1 or indptr.size != shape[0] + 1:
+        raise ProtocolError("indptr does not cover the declared shape")
+    if indices.ndim != 1 or data.ndim != 1 or indices.size != data.size:
+        raise ProtocolError("indices/data are not aligned 1-D arrays")
+    if indices.size != int(indptr[-1]):
+        raise ProtocolError("indptr does not address the nonzero stream")
+    return CSRMatrix((shape[0], shape[1]), indptr, indices, data)

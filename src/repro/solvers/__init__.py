@@ -28,7 +28,9 @@ from repro.solvers.sptrsv import (
     SolveResult,
     SpTRSVContext,
     SpTRSVEngine,
+    fold_rhs,
     sptrsv_solve,
+    unfold_rhs,
 )
 from repro.solvers.cpu import cpu_makespan
 from repro.solvers.superlu import SuperLUSolver
@@ -56,7 +58,9 @@ __all__ = [
     "SolveResult",
     "SpTRSVContext",
     "SpTRSVEngine",
+    "fold_rhs",
     "sptrsv_solve",
+    "unfold_rhs",
     "FactorizationResult",
     "resimulate",
     "scale_stats",

@@ -465,6 +465,9 @@ class FactorizationResult:
             DAG-path scheduling policy (``trojan``, ``levelset``,
             ``levelbatch``, ``serial``); ignored on the CSR path.
         """
+        refine = int(refine)
+        if refine < 0:
+            raise ValueError(f"refine must be >= 0, got {refine}")
         if refine and a is None:
             raise ValueError("iterative refinement needs the original matrix")
         use_dag = (batch_solve_enabled() if batch_solve is None
@@ -493,6 +496,9 @@ class FactorizationResult:
         The DAG path is bit-identical to this under every scheduler and
         batch composition — the solve-phase battery pins it.
         """
+        refine = int(refine)
+        if refine < 0:
+            raise ValueError(f"refine must be >= 0, got {refine}")
         if refine and a is None:
             raise ValueError("iterative refinement needs the original matrix")
         b = np.asarray(b, dtype=np.float64)
@@ -543,15 +549,36 @@ class FactorizationResult:
         x[self.perm] = z
         return x
 
-    def residual(self, a: CSRMatrix, b: np.ndarray, x: np.ndarray) -> float:
-        """Relative residual ‖Ax − b‖₂ / ‖b‖₂ against the *original* A."""
+    def residuals(self, a: CSRMatrix, b: np.ndarray,
+                  x: np.ndarray) -> np.ndarray:
+        """Per-column relative residuals ‖Ax − b‖₂ / ‖b‖₂ (original A).
+
+        Returns one value per right-hand-side column (a 0-D array for
+        1-D ``b``).  Convention for a zero column: when ``‖b‖₂ == 0``
+        the relative residual is undefined, so the *absolute* norm
+        ‖Ax‖₂ is reported for that column instead — 0.0 iff the solve
+        returned the exact null solution, never a spurious ``inf``.
+        """
         from repro.sparse import matvec
 
+        b = np.asarray(b, dtype=np.float64)
         r = matvec(a, x) - b
-        denom = np.linalg.norm(b)
-        return float(np.linalg.norm(r) / denom) if denom else float(
-            np.linalg.norm(r)
-        )
+        norm_r = np.linalg.norm(r, axis=0)
+        norm_b = np.linalg.norm(b, axis=0)
+        return np.where(norm_b > 0, norm_r / np.where(norm_b > 0, norm_b, 1.0),
+                        norm_r)
+
+    def residual(self, a: CSRMatrix, b: np.ndarray, x: np.ndarray) -> float:
+        """Scalar residual summary against the *original* A.
+
+        For 1-D ``b`` this is the relative residual ‖Ax − b‖₂ / ‖b‖₂;
+        for 2-D ``b`` it is the **maximum** of the per-column relative
+        residuals (:meth:`residuals`) — a Frobenius-collapsed scalar
+        would let one bad column hide behind many good ones.  The
+        zero-``b`` convention of :meth:`residuals` applies (absolute
+        norm for zero columns).
+        """
+        return float(np.max(self.residuals(a, b, x)))
 
 
 def scale_stats(stats: dict[int, KernelStats],

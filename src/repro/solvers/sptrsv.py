@@ -354,6 +354,53 @@ class SpTRSVEngine:
         return int(flops.sum()), int(nbytes.sum())
 
 
+def fold_rhs(bs: list) -> tuple[np.ndarray, list]:
+    """Fold several right-hand sides into one multi-RHS column stack.
+
+    The cross-request micro-batching primitive of the solver server:
+    ``k`` same-pattern solve requests (each ``(n,)`` or ``(n, nrhs_i)``)
+    become one ``(n, Σ nrhs_i)`` array, solved by a single batched
+    SpTRSV launch through the :class:`RhsPool` column folding.  Returns
+    the stack plus the per-request split recipe for :func:`unfold_rhs`.
+
+    Sound because the DAG solve path is column-equivariant *bitwise*
+    (every kernel runs per-column ``(m, k) @ (k, 1)`` cores — pinned by
+    the solve-phase property suite), so each request's slice of the
+    folded solution is the same bits a solo solve would have produced.
+    """
+    if not bs:
+        raise ValueError("fold_rhs needs at least one right-hand side")
+    cols = []
+    splits = []
+    n = None
+    for b in bs:
+        b = np.asarray(b, dtype=np.float64)
+        if b.ndim not in (1, 2):
+            raise ValueError(f"right-hand side must be 1-D or 2-D, "
+                             f"got {b.ndim}-D")
+        if n is None:
+            n = b.shape[0]
+        elif b.shape[0] != n:
+            raise ValueError("folded right-hand sides must share length")
+        b2 = b[:, None] if b.ndim == 1 else b
+        cols.append(b2)
+        splits.append((b2.shape[1], b.ndim == 1))
+    return np.concatenate(cols, axis=1), splits
+
+
+def unfold_rhs(x2: np.ndarray, splits: list) -> list:
+    """Split a folded solution back into the per-request shapes."""
+    out = []
+    pos = 0
+    for ncols, was_1d in splits:
+        piece = x2[:, pos:pos + ncols]
+        out.append(piece[:, 0] if was_1d else piece)
+        pos += ncols
+    if pos != x2.shape[1]:
+        raise ValueError("split recipe does not cover the folded solution")
+    return out
+
+
 def sptrsv_solve(tri: CSRMatrix, b: np.ndarray, part: Partition | None = None,
                  block_size: int = 64, lower: bool = True,
                  unit_diagonal: bool = False, scheduler: str = "trojan",

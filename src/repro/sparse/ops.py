@@ -15,18 +15,36 @@ from repro.sparse.csr import CSRMatrix
 
 
 def matvec(a: CSRMatrix, x: np.ndarray) -> np.ndarray:
-    """Sparse matrix–vector product ``A @ x``.
+    """Sparse matrix–vector product ``A @ x`` (``x`` 1-D or 2-D).
 
     Vectorised as a weighted histogram over row ids (``np.bincount``),
-    which handles empty rows without special-casing.
+    which handles empty rows without special-casing.  A 2-D ``x`` is one
+    system per column; the ``(row, column)`` pairs fold into a single
+    flat bin index so one ``bincount`` reduces every column at once.
+    Because the per-bin accumulation order is the nonzero-stream order
+    either way, each column of the 2-D result is bit-identical to the
+    1-D product of that column alone.
     """
     x = np.asarray(x, dtype=np.float64)
+    if x.ndim not in (1, 2):
+        raise ValueError(f"operand must be 1-D or 2-D, got {x.ndim}-D")
     if x.shape[0] != a.ncols:
         raise ValueError("dimension mismatch in matvec")
-    if a.nnz == 0:
-        return np.zeros(a.nrows, dtype=np.float64)
+    if x.ndim == 1:
+        if a.nnz == 0:
+            return np.zeros(a.nrows, dtype=np.float64)
+        rows = np.repeat(np.arange(a.nrows, dtype=np.int64),
+                         a.row_lengths())
+        return np.bincount(rows, weights=a.data * x[a.indices],
+                           minlength=a.nrows)
+    nrhs = x.shape[1]
+    if a.nnz == 0 or nrhs == 0:
+        return np.zeros((a.nrows, nrhs), dtype=np.float64)
     rows = np.repeat(np.arange(a.nrows, dtype=np.int64), a.row_lengths())
-    return np.bincount(rows, weights=a.data * x[a.indices], minlength=a.nrows)
+    prods = a.data[:, None] * x[a.indices, :]
+    bins = rows[:, None] * nrhs + np.arange(nrhs, dtype=np.int64)[None, :]
+    return np.bincount(bins.ravel(), weights=prods.ravel(),
+                       minlength=a.nrows * nrhs).reshape(a.nrows, nrhs)
 
 
 def spgemm(a: CSRMatrix, b: CSRMatrix) -> CSRMatrix:

@@ -178,3 +178,63 @@ def test_solver_cache_disabled_with_none():
     solver = PanguLUSolver(a, block_size=8, analysis_cache=None)
     assert solver.analysis_cache is None
     solver.factorize()  # must work without any cache
+
+
+# ----------------------------------------------------------------------
+# thread safety
+# ----------------------------------------------------------------------
+def test_reset_is_clear_alias():
+    cache = AnalysisCache(capacity=2)
+    cache.get_or_compute("a", lambda: 1)
+    cache.reset()
+    assert len(cache) == 0
+    assert cache.stats()["hits"] == cache.stats()["misses"] == 0
+
+
+def test_stats_snapshot_is_consistent():
+    cache = AnalysisCache(capacity=2)
+    cache.get_or_compute("a", lambda: 1)
+    cache.get_or_compute("a", lambda: 1)
+    cache.get_or_compute("b", lambda: 2)
+    cache.get_or_compute("c", lambda: 3)   # evicts "a"
+    stats = cache.stats()
+    # every miss inserted one entry; entries still present = inserts − evictions
+    assert stats["hits"] + stats["misses"] == 4
+    assert stats["entries"] == stats["misses"] - stats["evictions"]
+
+
+def test_concurrent_hammer_keeps_invariants():
+    """Hammer one cache from many threads (the solver-server usage).
+
+    Without the internal lock the OrderedDict mutates mid-iteration and
+    the counters drop updates; with it, every per-thread lookup count is
+    preserved and the LRU invariants hold at the end.
+    """
+    import threading
+
+    cache = AnalysisCache(capacity=8)
+    n_threads, n_ops, n_keys = 8, 300, 16
+    wrong = []
+    barrier = threading.Barrier(n_threads)
+
+    def worker(seed: int) -> None:
+        local = np.random.default_rng(seed)
+        barrier.wait()
+        for _ in range(n_ops):
+            key = f"k{local.integers(0, n_keys)}"
+            value = cache.get_or_compute(key, lambda k=key: ("v", k))
+            if value != ("v", key):
+                wrong.append((key, value))
+
+    threads = [threading.Thread(target=worker, args=(i,))
+               for i in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    assert not wrong
+    stats = cache.stats()
+    assert stats["hits"] + stats["misses"] == n_threads * n_ops
+    assert stats["entries"] == len(cache) <= 8
+    assert stats["entries"] == stats["misses"] - stats["evictions"]

@@ -41,3 +41,76 @@ class TestRefinement:
         b = rng.standard_normal(medium_poisson.nrows)
         assert np.allclose(run.solve(b),
                            run.solve(b, refine=0, a=medium_poisson))
+
+
+@pytest.fixture(scope="module")
+def circuit_run():
+    """One factorised circuit system shared by the regression matrix."""
+    a = circuit_like(150, seed=4)
+    return a, PanguLUSolver(a, block_size=16).factorize()
+
+
+class TestMultiRHSRefinement:
+    """Regressions for refined multi-RHS solves.
+
+    ``np.bincount`` weights are 1-D only, so before the 2-D ``matvec``
+    fix every ``solve(b2d, refine>0)`` raised on the refinement
+    residual; this matrix pins both solve paths across widths/sweeps.
+    """
+
+    @pytest.mark.parametrize("nrhs", [1, 4, 32])
+    @pytest.mark.parametrize("refine", [1, 2])
+    @pytest.mark.parametrize("batch_solve", [False, True])
+    def test_refined_solve(self, circuit_run, rng, nrhs, refine, batch_solve):
+        a, run = circuit_run
+        x_true = rng.standard_normal((a.nrows, nrhs))
+        b = matvec(a, x_true)
+        x = run.solve(b, refine=refine, a=a, batch_solve=batch_solve)
+        assert x.shape == (a.nrows, nrhs)
+        assert np.all(np.isfinite(x))
+        res = run.residuals(a, b, x)
+        assert res.shape == (nrhs,)
+        assert float(np.max(res)) < 1e-9
+
+    @pytest.mark.parametrize("nrhs", [4, 32])
+    def test_refined_oracle(self, circuit_run, rng, nrhs):
+        a, run = circuit_run
+        b = matvec(a, rng.standard_normal((a.nrows, nrhs)))
+        x = run.solve_per_column_oracle(b, refine=2, a=a)
+        assert x.shape == b.shape
+        assert run.residual(a, b, x) < 1e-9
+
+    def test_negative_refine_raises(self, circuit_run):
+        a, run = circuit_run
+        b = np.ones(a.nrows)
+        with pytest.raises(ValueError, match=">= 0"):
+            run.solve(b, refine=-1, a=a)
+        with pytest.raises(ValueError, match=">= 0"):
+            run.solve_per_column_oracle(b, refine=-1, a=a)
+
+
+class TestResiduals:
+    def test_per_column_values(self, circuit_run, rng):
+        a, run = circuit_run
+        b = rng.standard_normal((a.nrows, 3))
+        x = run.solve(b)
+        res = run.residuals(a, b, x)
+        for k in range(3):
+            expect = (np.linalg.norm(matvec(a, x[:, k]) - b[:, k])
+                      / np.linalg.norm(b[:, k]))
+            assert res[k] == pytest.approx(expect, rel=1e-12)
+        # the scalar summary is the max, so one bad column cannot hide
+        assert run.residual(a, b, x) == float(np.max(res))
+
+    def test_zero_b_convention(self, circuit_run):
+        # zero RHS: relative residual is undefined, so the absolute
+        # norm is reported — 0.0 for the exact null solution, never inf
+        a, run = circuit_run
+        b = np.zeros(a.nrows)
+        x = run.solve(b)
+        assert run.residual(a, b, x) == 0.0
+        b2 = np.zeros((a.nrows, 2))
+        b2[:, 1] = matvec(a, np.ones(a.nrows))
+        res = run.residuals(a, b2, run.solve(b2))
+        assert np.all(np.isfinite(res))
+        assert res[0] == 0.0

@@ -33,6 +33,53 @@ class TestMatvec:
             matvec(a, np.ones(41))
 
 
+class TestMatvec2D:
+    """The multi-RHS operand path (regression: ``np.bincount`` weights
+    are 1-D only, so 2-D operands need folded bin indices)."""
+
+    def test_against_dense(self, random_sparse, rng):
+        a, dense = random_sparse
+        x = rng.standard_normal((40, 5))
+        y = matvec(a, x)
+        assert y.shape == (40, 5)
+        assert np.allclose(y, dense @ x)
+
+    def test_bitwise_column_equivariant(self, random_sparse, rng):
+        # each column of the 2-D product must be the exact bits of the
+        # 1-D product of that column — what makes RHS folding (and the
+        # refinement residual on folded RHS) bit-safe
+        a, _ = random_sparse
+        x = rng.standard_normal((40, 7))
+        y = matvec(a, x)
+        for k in range(7):
+            assert np.array_equal(y[:, k], matvec(a, x[:, k]))
+
+    def test_single_column_matches_vector(self, random_sparse, rng):
+        a, _ = random_sparse
+        x = rng.standard_normal(40)
+        assert np.array_equal(matvec(a, x[:, None])[:, 0], matvec(a, x))
+
+    def test_zero_matrix(self):
+        a = CSRMatrix.empty((3, 4))
+        y = matvec(a, np.ones((4, 2)))
+        assert y.shape == (3, 2)
+        assert np.all(y == 0.0)
+
+    def test_zero_columns(self, random_sparse):
+        a, _ = random_sparse
+        assert matvec(a, np.zeros((40, 0))).shape == (40, 0)
+
+    def test_dimension_mismatch(self, random_sparse):
+        a, _ = random_sparse
+        with pytest.raises(ValueError):
+            matvec(a, np.ones((41, 3)))
+
+    def test_3d_operand_raises(self, random_sparse):
+        a, _ = random_sparse
+        with pytest.raises(ValueError, match="1-D or 2-D"):
+            matvec(a, np.ones((40, 2, 2)))
+
+
 class TestSpGEMM:
     def test_against_dense(self, rng):
         da = (rng.random((13, 17)) < 0.3) * rng.standard_normal((13, 17))
