@@ -1,0 +1,108 @@
+"""Scale-out event-engine throughput: 256–4096 ranks (Fig-12 regime).
+
+Sweeps banded synthetic workloads whose task counts grow with the rank
+count over both event engines.  Cells where the legacy per-message heap
+loop is affordable run both engines and assert (a) identical makespans,
+kernel counts and message counts — the arena's determinism contract —
+and (b) the arena is at least 10x faster in simulated events/sec at
+1024 ranks under the Trojan policy.  At 4096 ranks only the arena runs;
+the cell must simply complete (the CI scale-out gate).
+
+Writes ``benchmarks/results/BENCH_distsim_scale.json``.
+"""
+
+import json
+import os
+import pathlib
+
+from repro.analysis import format_table
+from repro.cluster import DistributedSimulator, H100_CLUSTER, banded_block_dag
+from repro.core.executor import EstimateBackend
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: (ranks, nb, bandwidth): DAG size grows with the grid so every cell
+#: keeps meaningful per-rank work (roughly Fig. 12's weak-ish scaling).
+CELLS = ((256, 64, 8), (1024, 128, 8), (4096, 192, 10))
+#: ranks at which the legacy loop still finishes in CI time
+LEGACY_MAX_RANKS = 1024
+POLICIES = ("trojan", "serial")
+#: best-of-N walls — the speedup assertion must not ride on one noisy
+#: scheduler quantum
+REPEATS = int(os.environ.get("REPRO_SCALE_REPEATS", "3"))
+SPEEDUP_FLOOR = 10.0
+
+
+def _run_best(dag, ranks, policy, engine):
+    best = None
+    for _ in range(REPEATS):
+        res = DistributedSimulator(dag, EstimateBackend(), H100_CLUSTER,
+                                   ranks, policy, engine=engine).run()
+        if best is None or res.events.wall_s < best.events.wall_s:
+            best = res
+    return best
+
+
+def test_distsim_scaleout_engines(emit, benchmark):
+    rows, cells = [], []
+    speedups = {}
+    for ranks, nb, bw in CELLS:
+        dag = banded_block_dag(nb, bw)
+        for policy in POLICIES:
+            arena = _run_best(dag, ranks, policy, "arena")
+            legacy = None
+            if ranks <= LEGACY_MAX_RANKS:
+                legacy = _run_best(dag, ranks, policy, "legacy")
+                assert arena.makespan == legacy.makespan
+                assert arena.total_kernels == legacy.total_kernels
+                assert arena.messages == legacy.messages
+                assert arena.events.events == legacy.events.events
+            for res in filter(None, (arena, legacy)):
+                ev = res.events
+                cell = {
+                    "ranks": ranks, "nb": nb, "bandwidth": bw,
+                    "policy": policy, "engine": ev.engine,
+                    "tasks": dag.n_tasks, "events": ev.events,
+                    "cohorts": ev.cohorts, "max_cohort": ev.max_cohort,
+                    "peak_depth": ev.peak_depth,
+                    "wall_s": round(ev.wall_s, 4),
+                    "events_per_sec": round(ev.events_per_sec, 1),
+                    "makespan_ms": res.makespan * 1e3,
+                    "messages": res.messages,
+                }
+                cells.append(cell)
+                rows.append([ranks, policy, ev.engine, dag.n_tasks,
+                             ev.events, round(ev.wall_s, 3),
+                             f"{ev.events_per_sec:,.0f}"])
+            if legacy is not None:
+                speedups[(ranks, policy)] = (
+                    arena.events.events_per_sec
+                    / legacy.events.events_per_sec)
+
+    # the acceptance bar: >= 10x simulated events/sec at 1024 ranks on
+    # the batched (trojan) policy
+    assert speedups[(1024, "trojan")] >= SPEEDUP_FLOOR, speedups
+    # the 4096-rank arena cells completed if we got here; pin that the
+    # sweep actually contained them
+    assert any(c["ranks"] == 4096 and c["engine"] == "arena"
+               for c in cells)
+
+    table = format_table(
+        ["ranks", "policy", "engine", "tasks", "events", "wall (s)",
+         "events/s"],
+        rows, title="distsim scale-out: arena vs legacy event engine")
+    lines = [table, ""]
+    lines += [f"speedup {r}r/{p}: {s:.1f}x"
+              for (r, p), s in sorted(speedups.items())]
+    emit("distsim_scale", "\n".join(lines))
+    summary = {"cells": cells,
+               "speedups": {f"{r}:{p}": round(s, 2)
+                            for (r, p), s in speedups.items()},
+               "speedup_floor": SPEEDUP_FLOOR}
+    (RESULTS_DIR / "BENCH_distsim_scale.json").write_text(
+        json.dumps(summary, indent=1), encoding="utf-8")
+
+    dag256 = banded_block_dag(64, 8)
+    benchmark(lambda: DistributedSimulator(
+        dag256, EstimateBackend(), H100_CLUSTER, 256, "trojan",
+        engine="arena").run())

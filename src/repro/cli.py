@@ -209,14 +209,25 @@ def cmd_distsim(args) -> int:
     """
     import json
 
-    from repro.cluster import FaultSpec
+    from repro.cluster import FaultSpec, banded_block_dag
+    from repro.core.executor import EstimateBackend
     from repro.verify.trace import verify_trace
 
-    a = _load_matrix(args)
-    if args.solver not in ("pangulu", "superlu"):
-        raise SystemExit("distsim supports pangulu and superlu")
-    run = SOLVERS[args.solver](a, ordering=args.ordering,
-                               scheduler="serial").factorize()
+    if args.synthetic:
+        try:
+            nb, bw = (int(x) for x in args.synthetic.lower().split("x"))
+        except ValueError:
+            raise SystemExit("--synthetic wants NBxBW, e.g. 128x8")
+        dag, backend = banded_block_dag(nb, bw), EstimateBackend()
+        workload = f"banded {nb}x{bw}"
+    else:
+        a = _load_matrix(args)
+        if args.solver not in ("pangulu", "superlu"):
+            raise SystemExit("distsim supports pangulu and superlu")
+        run = SOLVERS[args.solver](a, ordering=args.ordering,
+                                   scheduler="serial").factorize()
+        dag, backend = run.dag, ReplayBackend(run.stats)
+        workload = args.solver
     spec = None
     if args.faults:
         spec = FaultSpec.from_json(args.faults)
@@ -224,14 +235,19 @@ def cmd_distsim(args) -> int:
             spec = spec.with_seed(args.seed)
     want_trace = bool(args.verify or args.trace_out or args.out)
     res = DistributedSimulator(
-        run.dag, ReplayBackend(run.stats), CLUSTERS[args.cluster],
+        dag, backend, CLUSTERS[args.cluster],
         args.gpus, args.policy, record_trace=want_trace,
-        faults=spec).run()
+        faults=spec, engine=args.engine).run()
     summary = res.summary()
+    rows = []
+    for k, v in summary.items():
+        if isinstance(v, dict):  # the nested event-loop counters
+            rows.extend([f"{k}.{kk}", vv] for kk, vv in v.items())
+        else:
+            rows.append([k, v])
     print(format_table(
-        ["metric", "value"],
-        [[k, v] for k, v in summary.items()],
-        title=f"distsim: {args.solver}/{args.policy} on "
+        ["metric", "value"], rows,
+        title=f"distsim: {workload}/{args.policy} on "
               f"{CLUSTERS[args.cluster].name}"))
     digest = res.trace.digest() if res.trace is not None else None
     if digest:
@@ -320,7 +336,9 @@ def cmd_serve(args) -> int:
             batch_window=args.batch_window,
             micro_batch=not args.no_micro_batch,
             cache_capacity=args.cache_capacity,
-            default_deadline_ms=args.deadline_ms)
+            default_deadline_ms=args.deadline_ms,
+            session_ttl=args.session_ttl,
+            max_sessions=args.max_sessions)
         await server.start()
         print(f"repro solver server on {server.host}:{server.port} "
               f"(max_inflight={server.max_inflight}, "
@@ -492,6 +510,14 @@ def build_parser() -> argparse.ArgumentParser:
     d.add_argument("--verify", action="store_true",
                    help="run the TraceVerifier on the recorded trace "
                         "(violations exit 1)")
+    d.add_argument("--engine", default=None,
+                   choices=("arena", "legacy"),
+                   help="event engine (default: arena, or "
+                        "REPRO_DISTSIM_LEGACY=1 for the heap loop)")
+    d.add_argument("--synthetic", default=None, metavar="NBxBW",
+                   help="banded synthetic workload (e.g. 128x8) with "
+                        "estimated costs — skips the matrix entirely, "
+                        "for scale-out sweeps")
 
     srv = sub.add_parser(
         "serve", help="run the long-lived solver server")
@@ -510,6 +536,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="pattern-keyed analysis-cache entries")
     srv.add_argument("--deadline-ms", type=float, default=None,
                      help="default per-request deadline while queued")
+    srv.add_argument("--session-ttl", type=float, default=None,
+                     help="seconds an idle warm session survives "
+                          "(default: forever)")
+    srv.add_argument("--max-sessions", type=int, default=None,
+                     help="resident-session cap; beyond it the "
+                          "least-recently-used idle session is evicted")
 
     cl = sub.add_parser(
         "client", help="drive a demo workload against a running server")

@@ -31,7 +31,14 @@ from repro.cluster.network import (
     H100_CLUSTER,
     MI50_CLUSTER,
 )
-from repro.cluster.distsim import DistributedSimulator, DistributedResult
+from repro.cluster.distsim import (
+    DistributedSimulator,
+    DistributedResult,
+    ENGINES,
+    default_engine,
+)
+from repro.cluster.eventarena import EventArena, EventLoopStats
+from repro.cluster.synthetic import banded_block_dag
 from repro.cluster.faults import (
     FaultSpec,
     FaultStats,
@@ -60,6 +67,11 @@ __all__ = [
     "MI50_CLUSTER",
     "DistributedSimulator",
     "DistributedResult",
+    "ENGINES",
+    "default_engine",
+    "EventArena",
+    "EventLoopStats",
+    "banded_block_dag",
     "factor_bytes_per_rank",
     "fits_in_memory",
 ]

@@ -17,10 +17,13 @@ from __future__ import annotations
 
 import heapq
 import math
+import os
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.cluster.eventarena import EventLoopStats
 from repro.cluster.faults import FaultSpec, FaultStats
 from repro.cluster.grid import ProcessGrid
 from repro.cluster.memory import USABLE_FRACTION, factor_bytes_per_rank
@@ -36,6 +39,20 @@ from repro.verify.trace import DistTrace, SendRecord
 
 POLICIES = ("serial", "streams", "trojan", "dmdas")
 """Per-process scheduling policies supported by the simulator."""
+
+ENGINES = ("arena", "legacy")
+"""Event-loop engines: the vectorized calendar-queue arena (default) and
+the kept per-message heap loop (the differential oracle)."""
+
+
+def default_engine() -> str:
+    """Engine used when ``DistributedSimulator(engine=None)``.
+
+    ``REPRO_DISTSIM_LEGACY=1`` routes through the per-message heap loop
+    (the differential oracle); anything else selects the arena engine.
+    """
+    flag = os.environ.get("REPRO_DISTSIM_LEGACY", "0").strip().lower()
+    return "legacy" if flag in ("1", "true", "yes", "on") else "arena"
 
 
 @dataclass
@@ -59,6 +76,9 @@ class DistributedResult:
     trace: DistTrace | None = None
     #: Fault accounting (``faults=FaultSpec(...)`` runs only).
     faults: FaultStats | None = None
+    #: Event-loop counters (which engine ran, events processed, cohort
+    #: sizes, peak queue depth, events/sec).
+    events: EventLoopStats | None = None
 
     def __post_init__(self) -> None:
         if self.nprocs < 1:
@@ -101,6 +121,8 @@ class DistributedResult:
         }
         if self.faults is not None:
             out.update(self.faults.as_dict())
+        if self.events is not None:
+            out["events"] = self.events.as_dict()
         return out
 
 
@@ -162,6 +184,40 @@ class _ProcState:
             return self.prio.has_ready or not self.container.is_empty
         return bool(self.heap)
 
+    # -- timing hooks -----------------------------------------------------
+    # The arena engine's _FastProcState overrides these two with
+    # precomputed-array fast paths (repro.cluster.engine); the launch
+    # methods below are shared by both engines, so the scheduling logic
+    # cannot drift between them.
+    def _run_batch_time(self, tids: list[int],
+                        t_start: float) -> tuple[float, int]:
+        """Simulated ``(duration, flops)`` of launching ``tids`` at
+        ``t_start``.
+
+        The duration is ``(t_start + launch_time) - t_start`` — the
+        subtraction is part of the contract (``BatchRecord.duration``
+        computes exactly that), and fast paths must reproduce its
+        floating-point rounding to stay bit-identical.
+        """
+        record = self.executor.run_batch(
+            [self.dag.tasks[x] for x in tids], t_start)
+        return record.duration, record.flops
+
+    def _task_body_time(self, tid: int) -> tuple[float, int]:
+        """Kernel-body seconds (launch time minus overhead) and flops of
+        one task — the streams policy's dispatch/body split."""
+        task = self.dag.tasks[tid]
+        stats = self.backend.run_task(task, False)
+        launch = KernelLaunch()
+        launch.add_task(task.cuda_blocks, stats.flops, stats.bytes,
+                        task.shared_mem_bytes)
+        overhead = self.model.gpu.launch_overhead_us * 1e-6
+        return self.model.launch_time(launch) - overhead, stats.flops
+
+    def _pop_ready(self) -> int:
+        """Pop the highest-priority queued task id (serial/dmdas/streams)."""
+        return heapq.heappop(self.heap)[2]
+
     # -- launching --------------------------------------------------------
     def launch(self, t: float) -> list[tuple[float, float, list[int], int]]:
         """Start work at time ``t`` if the policy allows.
@@ -174,13 +230,13 @@ class _ProcState:
             return self._launch_trojan(t)
         if self.busy_until > t or not self.has_ready():
             return []
-        tids = [heapq.heappop(self.heap)[2]]
-        record = self.executor.run_batch([self.dag.tasks[x] for x in tids], t)
-        end = record.t_start + record.duration * self.slowdown(t)
+        tids = [self._pop_ready()]
+        dur, flops = self._run_batch_time(tids, t)
+        end = t + dur * self.slowdown(t)
         self.busy_until = end
-        self.busy += end - record.t_start
+        self.busy += end - t
         self.kernels += 1
-        return [(record.t_start, end, tids, record.flops)]
+        return [(t, end, tids, flops)]
 
     def _launch_trojan(self, t: float) -> list[tuple[float, float, list[int], int]]:
         out = []
@@ -194,14 +250,13 @@ class _ProcState:
                     self.prio.push_ready(tid)
                 break
             start = max(t, self.gpu_free)
-            record = self.executor.run_batch(
-                [self.dag.tasks[x] for x in tids], start)
-            end = record.t_start + record.duration * self.slowdown(t)
+            dur, flops = self._run_batch_time(tids, start)
+            end = start + dur * self.slowdown(t)
             self.gpu_free = end
             self.inflight += 1
-            self.busy += end - record.t_start
+            self.busy += end - start
             self.kernels += 1
-            out.append((record.t_start, end, tids, record.flops))
+            out.append((start, end, tids, flops))
         return out
 
     def on_done(self) -> None:
@@ -237,30 +292,25 @@ class _ProcState:
 
     def _launch_streams(self, t: float) -> list[tuple[float, float, list[int], int]]:
         out = []
+        overhead = self.model.gpu.launch_overhead_us * 1e-6
+        dispatch = self.model.gpu.dispatch_serial_us * 1e-6
         while self.heap:
             free = [s for s in range(len(self.clocks)) if self.clocks[s] <= t]
             if not free:
                 break
             s = free[0]
-            _, _, tid = heapq.heappop(self.heap)
-            task = self.dag.tasks[tid]
-            stats = self.backend.run_task(task, False)
-            launch = KernelLaunch()
-            launch.add_task(task.cuda_blocks, stats.flops, stats.bytes,
-                            task.shared_mem_bytes)
-            overhead = self.model.gpu.launch_overhead_us * 1e-6
-            dispatch = self.model.gpu.dispatch_serial_us * 1e-6
+            tid = self._pop_ready()
+            raw, flops = self._task_body_time(tid)
             issue = max(t, self.dispatch_clock)
             self.dispatch_clock = issue + dispatch
-            body = (self.model.launch_time(launch) - overhead) \
-                * self.slowdown(t)
+            body = raw * self.slowdown(t)
             start = max(issue + overhead, self.device_clock)
             end = start + body
             self.clocks[s] = end
             self.device_clock = end
             self.busy += end - t
             self.kernels += 1
-            out.append((t, end, [tid], stats.flops))
+            out.append((t, end, [tid], flops))
         return out
 
     def drain_pending(self) -> list[int]:
@@ -325,6 +375,13 @@ class DistributedSimulator:
         the run injects lossy links, stragglers and rank deaths,
         deterministically from the spec's seed, via the extended event
         loop (:meth:`_run_faulty`).
+    engine:
+        ``"arena"`` (vectorized calendar-queue engine,
+        :mod:`repro.cluster.engine`) or ``"legacy"`` (the kept
+        per-message heap loop).  ``None`` follows the
+        ``REPRO_DISTSIM_LEGACY`` knob (default: arena).  Both engines
+        produce bit-identical results — traces, digests, summaries —
+        for the same inputs; the legacy loop is the differential oracle.
     """
 
     def __init__(self, dag: TaskDAG, backend: ExecutionBackend,
@@ -333,7 +390,8 @@ class DistributedSimulator:
                  record_timeline: bool = False,
                  record_trace: bool = False,
                  msg_scale: float = 1.0,
-                 faults: FaultSpec | None = None):
+                 faults: FaultSpec | None = None,
+                 engine: str | None = None):
         if policy not in POLICIES:
             raise ValueError(f"unknown policy {policy!r}; choose from {POLICIES}")
         if nprocs < 1:
@@ -342,6 +400,12 @@ class DistributedSimulator:
             raise ValueError("msg_scale must be positive")
         if faults is not None:
             faults.validate(nprocs)
+        if engine is None:
+            engine = default_engine()
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; choose from {ENGINES}")
+        self.engine = engine
         self.faults = faults
         self.dag = dag
         self.backend = backend
@@ -367,12 +431,23 @@ class DistributedSimulator:
     def run(self) -> DistributedResult:
         """Simulate the whole factorisation; returns cluster-level stats.
 
-        Fault-free runs use the lean lossless loop below; a
-        :class:`FaultSpec` switches to the extended loop with per-edge
-        delivery tracking, retransmit timers and death/recovery events.
+        Dispatches to the selected event engine.  Fault-free runs use
+        the lean lossless loop; a :class:`FaultSpec` switches to the
+        extended loop with per-edge delivery tracking, retransmit timers
+        and death/recovery events — in both engines.
         """
+        if self.engine == "arena":
+            from repro.cluster.engine import run_arena, run_arena_faulty
+
+            if self.faults is not None:
+                return run_arena_faulty(self)
+            return run_arena(self)
         if self.faults is not None:
             return self._run_faulty()
+        return self._run_legacy()
+
+    def _run_legacy(self) -> DistributedResult:
+        """The per-message heap event loop (the differential oracle)."""
         dag = self.dag
         model = GPUCostModel(self.cluster.gpu)
         cp = dag.critical_path_lengths()
@@ -384,11 +459,15 @@ class DistributedSimulator:
         arrival = np.zeros(dag.n_tasks)
         events: list[tuple[float, int, str, int, object]] = []
         seq = 0
+        loop_stats = EventLoopStats(engine="legacy", max_cohort=1)
+        t_wall = time.perf_counter()
 
         def push_event(t: float, kind: str, rank: int, payload) -> None:
             nonlocal seq
             heapq.heappush(events, (t, seq, kind, rank, payload))
             seq += 1
+            if len(events) > loop_stats.peak_depth:
+                loop_stats.peak_depth = len(events)
 
         for tid in dag.initial_ready():
             push_event(0.0, "ready", self.owner_of_task(tid), tid)
@@ -434,6 +513,7 @@ class DistributedSimulator:
 
         while events:
             t, _, kind, rank, payload = heapq.heappop(events)
+            loop_stats.events += 1
             proc = procs[rank]
             if t >= wake_pending[rank]:
                 wake_pending[rank] = float("inf")
@@ -458,6 +538,8 @@ class DistributedSimulator:
                 wake_pending[rank] = wake
                 push_event(wake, "wake", rank, None)
 
+        loop_stats.cohorts = loop_stats.events
+        loop_stats.wall_s = time.perf_counter() - t_wall
         if done_tasks != dag.n_tasks:
             raise AssertionError(
                 f"distributed sim finished {done_tasks}/{dag.n_tasks} tasks"
@@ -498,6 +580,7 @@ class DistributedSimulator:
             comm_bytes=comm_bytes,
             timeline=timeline,
             trace=trace,
+            events=loop_stats,
         )
 
     def _run_faulty(self) -> DistributedResult:
@@ -575,11 +658,15 @@ class DistributedSimulator:
 
         events: list[tuple[float, int, str, int, object]] = []
         seq = 0
+        loop_stats = EventLoopStats(engine="legacy", max_cohort=1)
+        t_wall = time.perf_counter()
 
         def push_event(t: float, kind: str, rank: int, payload) -> None:
             nonlocal seq
             heapq.heappush(events, (t, seq, kind, rank, payload))
             seq += 1
+            if len(events) > loop_stats.peak_depth:
+                loop_stats.peak_depth = len(events)
 
         messages = 0
         comm_bytes = 0
@@ -783,6 +870,7 @@ class DistributedSimulator:
 
         while events:
             t, _, kind, rank, payload = heapq.heappop(events)
+            loop_stats.events += 1
             if t >= wake_pending[rank]:
                 wake_pending[rank] = float("inf")
             if kind == "death":
@@ -840,6 +928,8 @@ class DistributedSimulator:
                 wake_pending[rank] = wake
                 push_event(wake, "wake", rank, None)
 
+        loop_stats.cohorts = loop_stats.events
+        loop_stats.wall_s = time.perf_counter() - t_wall
         if done_tasks != n:
             raise AssertionError(
                 f"faulty distributed sim finished {done_tasks}/{n} tasks")
@@ -878,4 +968,5 @@ class DistributedSimulator:
             timeline=timeline,
             trace=trace,
             faults=fstats,
+            events=loop_stats,
         )

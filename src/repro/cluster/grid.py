@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 
 def _best_grid(nprocs: int) -> tuple[int, int]:
     """Most-square factorisation pr × pc = nprocs with pr ≤ pc."""
@@ -21,13 +23,19 @@ class ProcessGrid:
     Tile (i, j) belongs to process ``(i mod pr) · pc + (j mod pc)`` — the
     distribution SuperLU_DIST and PanguLU both employ (paper §2.2).
 
+    Construction is O(√nprocs) (one trial-division factorisation) and
+    ownership queries are O(1), so thousand-rank grids cost nothing to
+    set up — the scale-out sweeps build 4096-rank grids per cell.
+
     Parameters
     ----------
     nprocs:
         Total processes (= GPUs).
     pr, pc:
         Optional explicit grid shape; defaults to the most-square
-        factorisation.
+        factorisation.  Both must be positive when given — a negative
+        dimension would silently wrap tile indices via Python's modulo
+        instead of failing.
     """
 
     nprocs: int
@@ -37,15 +45,55 @@ class ProcessGrid:
     def __post_init__(self):
         if self.nprocs <= 0:
             raise ValueError("need at least one process")
+        if self.pr < 0 or self.pc < 0:
+            raise ValueError(
+                f"grid shape must be positive, got {self.pr}x{self.pc}")
         if self.pr == 0 or self.pc == 0:
             pr, pc = _best_grid(self.nprocs)
             object.__setattr__(self, "pr", pr)
             object.__setattr__(self, "pc", pc)
         if self.pr * self.pc != self.nprocs:
-            raise ValueError("pr × pc must equal nprocs")
+            raise ValueError(
+                f"pr × pc must equal nprocs "
+                f"({self.pr}x{self.pc} != {self.nprocs})")
+
+    @classmethod
+    def rectangular(cls, pr: int, pc: int) -> "ProcessGrid":
+        """Explicit (possibly non-square) ``pr × pc`` grid."""
+        if pr <= 0 or pc <= 0:
+            raise ValueError(
+                f"grid shape must be positive, got {pr}x{pc}")
+        return cls(nprocs=pr * pc, pr=pr, pc=pc)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Grid dimensions ``(pr, pc)``."""
+        return (self.pr, self.pc)
 
     def owner(self, i: int, j: int) -> int:
-        """Rank owning tile (i, j)."""
+        """Rank owning tile (i, j).
+
+        Tile indices must be non-negative: a negative index would wrap
+        around the grid silently (Python's modulo), masking an indexing
+        bug upstream, so it raises instead.
+        """
+        if i < 0 or j < 0:
+            raise ValueError(
+                f"tile indices must be non-negative, got ({i}, {j})")
+        return (i % self.pr) * self.pc + (j % self.pc)
+
+    def owner_array(self, i: np.ndarray, j: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`owner` over parallel tile-index arrays.
+
+        One pass over the whole task list replaces a per-task Python
+        call — the engine setup cost that used to dominate large grids.
+        """
+        i = np.asarray(i, dtype=np.int64)
+        j = np.asarray(j, dtype=np.int64)
+        if i.shape != j.shape:
+            raise ValueError("tile index arrays must have matching shapes")
+        if i.size and (int(i.min()) < 0 or int(j.min()) < 0):
+            raise ValueError("tile indices must be non-negative")
         return (i % self.pr) * self.pc + (j % self.pc)
 
     def coords(self, rank: int) -> tuple[int, int]:

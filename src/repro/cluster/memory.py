@@ -32,12 +32,18 @@ def factor_bytes_per_rank(dag: TaskDAG, grid: ProcessGrid) -> np.ndarray:
 
     Each factor tile (the output of its GETRF/TSTRF/GEESM task) is stored
     by its owner; SSSSM tasks touch existing tiles and add nothing.
+
+    Vectorized over :meth:`TaskDAG.task_arrays`; ``np.add.at`` applies
+    its updates sequentially in operand order, so the accumulation order
+    (ascending tid) — and therefore every last floating-point bit — is
+    identical to the per-task loop this replaced.
     """
     out = np.zeros(grid.nprocs)
-    for task in dag.tasks:
-        if task.type == TaskType.SSSSM:
-            continue
-        out[grid.owner(task.i, task.j)] += BYTES_PER_NNZ * task.nnz
+    arrays = dag.task_arrays()
+    mask = arrays.type_code != int(TaskType.SSSSM)
+    owners = grid.owner_array(arrays.i[mask], arrays.j[mask])
+    np.add.at(out, owners,
+              BYTES_PER_NNZ * arrays.nnz[mask].astype(np.float64))
     return out
 
 

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.gpusim.specs import GPUSpec, H100_SXM, MI50
 
 
@@ -66,6 +68,29 @@ class ClusterSpec:
         """Message cost between two ranks (0 for self-messages)."""
         link = self.link(src, dst)
         return 0.0 if link is None else link.message_time(nbytes)
+
+    def message_times(self, src, dst, nbytes) -> np.ndarray:
+        """Vectorized :meth:`message_time` over parallel rank/size arrays.
+
+        Used by the arena engine to price every DAG edge in one pass at
+        setup.  The arithmetic is the same two-operation expression as
+        the scalar path (precomputed latency seconds + bytes over
+        precomputed bytes/sec), so each element is bit-identical to a
+        scalar ``message_time`` call.
+        """
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        b = np.asarray(nbytes, dtype=np.float64)
+        if b.size and float(b.min()) < 0:
+            raise ValueError("negative message size")
+        gpn = self.gpus_per_node
+        same_node = (src // gpn) == (dst // gpn)
+        t_intra = (self.intranode.latency_us * 1e-6
+                   + b / (self.intranode.bandwidth_gbs * 1e9))
+        t_inter = (self.internode.latency_us * 1e-6
+                   + b / (self.internode.bandwidth_gbs * 1e9))
+        return np.where(src == dst, 0.0,
+                        np.where(same_node, t_intra, t_inter))
 
 
 H100_CLUSTER = ClusterSpec(

@@ -98,6 +98,18 @@ class ReplayBackend:
         self._have = have
         self.rebuilds += 1
 
+    def stat_arrays(self, n: int) -> tuple[np.ndarray, np.ndarray,
+                                           np.ndarray]:
+        """tid-indexed ``(flops, bytes, recorded)`` views over ``n`` tasks.
+
+        The distsim arena engine uses these to precompute every
+        single-task launch time in one vectorized pass; the ``recorded``
+        mask lets it replicate :meth:`run_task`'s ``KeyError`` for tasks
+        with no recorded stats.
+        """
+        self._ensure_arrays(n)
+        return self._flops_arr[:n], self._bytes_arr[:n], self._have[:n]
+
     def batch_stats(self, tids: np.ndarray, atomic: np.ndarray,
                     arrays) -> tuple[int, int]:
         """Vectorized batch totals: one gather-sum over the stat arrays.

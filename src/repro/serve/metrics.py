@@ -56,6 +56,7 @@ class ServerMetrics:
         self._batch_columns: deque = deque(maxlen=window)
         self._session_hits = 0
         self._session_misses = 0
+        self._session_evictions: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # request lifecycle
@@ -118,6 +119,12 @@ class ServerMetrics:
             else:
                 self._session_misses += 1
 
+    def session_evicted(self, reason: str) -> None:
+        """Record one warm-session eviction (``ttl``/``lru``)."""
+        with self._lock:
+            self._session_evictions[reason] = (
+                self._session_evictions.get(reason, 0) + 1)
+
     # ------------------------------------------------------------------
     # snapshot
     # ------------------------------------------------------------------
@@ -150,5 +157,6 @@ class ServerMetrics:
                     "misses": self._session_misses,
                     "hit_rate": (self._session_hits / session_total
                                  if session_total else 0.0),
+                    "evictions": dict(self._session_evictions),
                 },
             }

@@ -76,6 +76,11 @@ class _Session:
         self.factorizes = 1
         self.refactorizes = 0
         self.solves = 0
+        self.last_used = time.perf_counter()
+
+    def touch(self) -> None:
+        """Mark the session recently used (defers TTL/LRU eviction)."""
+        self.last_used = time.perf_counter()
 
     @property
     def result(self):
@@ -130,17 +135,30 @@ class SolverServer:
         Entries in the shared pattern-keyed analysis cache.
     default_deadline_ms:
         Deadline applied to requests that do not carry their own.
+    session_ttl:
+        Seconds a warm session may sit idle before eviction (``None``
+        keeps sessions forever).  Evicted sessions release their tile
+        arenas; a later same-pattern ``factorize`` simply rebuilds.
+    max_sessions:
+        Resident-session cap; inserting beyond it evicts the
+        least-recently-used idle session (``None`` = unbounded).
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
                  max_inflight: int = 4, max_queue: int = 64,
                  batch_window: float = 0.002, micro_batch: bool = True,
                  cache_capacity: int = 32,
-                 default_deadline_ms: float | None = None):
+                 default_deadline_ms: float | None = None,
+                 session_ttl: float | None = None,
+                 max_sessions: int | None = None):
         if max_inflight < 1:
             raise ValueError("max_inflight must be >= 1")
         if max_queue < 1:
             raise ValueError("max_queue must be >= 1")
+        if session_ttl is not None and session_ttl <= 0:
+            raise ValueError("session_ttl must be positive")
+        if max_sessions is not None and max_sessions < 1:
+            raise ValueError("max_sessions must be >= 1")
         self.host = host
         self.port = port
         self.max_inflight = int(max_inflight)
@@ -148,6 +166,8 @@ class SolverServer:
         self.batch_window = float(batch_window)
         self.micro_batch = bool(micro_batch)
         self.default_deadline_ms = default_deadline_ms
+        self.session_ttl = session_ttl
+        self.max_sessions = max_sessions
         self.cache = AnalysisCache(capacity=cache_capacity)
         self.metrics = ServerMetrics()
         self.sessions: dict[str, _Session] = {}
@@ -324,9 +344,52 @@ class SolverServer:
         return out
 
     # ------------------------------------------------------------------
+    # session eviction
+    # ------------------------------------------------------------------
+    def _evict(self, session: "_Session", reason: str) -> None:
+        self.sessions.pop(session.key, None)
+        self._creation_locks.pop(session.key, None)
+        self.metrics.session_evicted(reason)
+
+    def _evict_idle(self) -> None:
+        """TTL sweep: drop sessions idle past ``session_ttl``.
+
+        Runs at dispatch time (O(sessions), no timers to leak).  A
+        session whose lock is held is mid-request — skipped; it is
+        re-examined on the next sweep with a fresh ``last_used``.
+        """
+        if self.session_ttl is None or not self.sessions:
+            return
+        cutoff = time.perf_counter() - self.session_ttl
+        for session in [s for s in self.sessions.values()
+                        if s.last_used < cutoff]:
+            if not session.lock.locked():
+                self._evict(session, "ttl")
+
+    def _enforce_session_cap(self) -> None:
+        """LRU sweep after an insert: shed beyond ``max_sessions``.
+
+        Locked (mid-request) sessions are never shed, so the cap can be
+        transiently exceeded while every resident session is executing.
+        """
+        if self.max_sessions is None:
+            return
+        excess = len(self.sessions) - self.max_sessions
+        if excess <= 0:
+            return
+        for session in sorted(self.sessions.values(),
+                              key=lambda s: s.last_used):
+            if excess <= 0:
+                break
+            if not session.lock.locked():
+                self._evict(session, "lru")
+                excess -= 1
+
+    # ------------------------------------------------------------------
     # dispatch
     # ------------------------------------------------------------------
     async def _dispatch(self, op, header, arrays, t0):
+        self._evict_idle()
         if op == "ping":
             return {}, {}
         if op == "stats":
@@ -396,6 +459,7 @@ class SolverServer:
             session = self.sessions.get(key)
             if session is not None and allow_fast:
                 self.metrics.session_lookup(hit=True)
+                session.touch()
                 return await self._refactorize_into(
                     session, a, header, t0, op="factorize", fast_path=True)
             self.metrics.session_lookup(hit=False)
@@ -411,6 +475,7 @@ class SolverServer:
                 "factorize", header, t0, None, work)
             session = _Session(key, solver, a)
             self.sessions[key] = session
+            self._enforce_session_cap()
         return self._factor_response(session, seconds, fast_path=False), {}
 
     async def _op_refactorize(self, header, arrays, t0):
@@ -456,6 +521,7 @@ class SolverServer:
         seconds = await self._run_admitted(op, header, t0, session, work)
         session.a = a
         session.refactorizes += 1
+        session.touch()
         return self._factor_response(session, seconds, fast_path), {}
 
     def _factor_response(self, session, seconds, fast_path):
@@ -483,6 +549,7 @@ class SolverServer:
                              f"no resident session {key!r} — factorize "
                              "first")
         self.metrics.session_lookup(hit=True)
+        session.touch()
         return session
 
     # -- solve ---------------------------------------------------------
@@ -602,11 +669,14 @@ class SolverServer:
             "config": {"max_inflight": self.max_inflight,
                        "max_queue": self.max_queue,
                        "batch_window": self.batch_window,
-                       "micro_batch": self.micro_batch},
+                       "micro_batch": self.micro_batch,
+                       "session_ttl": self.session_ttl,
+                       "max_sessions": self.max_sessions},
             "sessions": [
                 {"session": s.key, "n": s.a.nrows, "nnz": s.a.nnz,
                  "solver": s.solver.solver_name,
-                 "refactorizes": s.refactorizes, "solves": s.solves}
+                 "refactorizes": s.refactorizes, "solves": s.solves,
+                 "idle_s": time.perf_counter() - s.last_used}
                 for s in self.sessions.values()
             ],
         }

@@ -77,6 +77,57 @@ class TestProcessGrid:
         with pytest.raises(ValueError):
             ProcessGrid(0)
 
+    def test_rectangular_constructor(self):
+        g = ProcessGrid.rectangular(3, 7)
+        assert g.nprocs == 21
+        assert g.shape == (3, 7)
+
+    def test_rectangular_rejects_nonpositive(self):
+        with pytest.raises(ValueError, match="positive"):
+            ProcessGrid.rectangular(0, 4)
+        with pytest.raises(ValueError, match="positive"):
+            ProcessGrid.rectangular(4, -1)
+
+    def test_negative_shape_rejected(self):
+        # a negative dimension would silently wrap via Python's modulo
+        with pytest.raises(ValueError, match="positive"):
+            ProcessGrid(4, pr=-2, pc=-2)
+
+    def test_negative_tile_index_rejected(self):
+        g = ProcessGrid(4)
+        with pytest.raises(ValueError, match="non-negative"):
+            g.owner(-1, 0)
+        with pytest.raises(ValueError, match="non-negative"):
+            g.owner(0, -3)
+
+    def test_owner_array_matches_scalar(self):
+        g = ProcessGrid.rectangular(3, 5)
+        i = np.arange(40).repeat(40)
+        j = np.tile(np.arange(40), 40)
+        vec = g.owner_array(i, j)
+        assert vec.tolist() == [g.owner(int(a), int(b))
+                                for a, b in zip(i, j)]
+
+    def test_owner_array_validation(self):
+        g = ProcessGrid(4)
+        with pytest.raises(ValueError, match="non-negative"):
+            g.owner_array(np.array([0, -1]), np.array([0, 0]))
+        with pytest.raises(ValueError, match="matching shapes"):
+            g.owner_array(np.arange(3), np.arange(4))
+
+    def test_large_grid_is_cheap(self):
+        # thousand-rank grids must not pay a quadratic setup cost: the
+        # 4096-rank scale-out sweep constructs one per cell
+        import time
+        t0 = time.perf_counter()
+        for _ in range(100):
+            g = ProcessGrid(4096)
+        assert time.perf_counter() - t0 < 0.5
+        assert g.shape == (64, 64)
+        owners = g.owner_array(np.arange(8192) // 64,
+                               np.arange(8192) % 64)
+        assert int(owners.max()) < 4096
+
 
 class TestNetwork:
     def test_message_time_formula(self):

@@ -309,3 +309,78 @@ class TestServerDifferential:
             assert np.array_equal(x_solo, expect)
             assert np.array_equal(x_piped, expect)
             assert np.all(np.isfinite(expect))
+
+
+# ----------------------------------------------------------------------
+# warm-session eviction (TTL + LRU cap)
+# ----------------------------------------------------------------------
+class TestSessionEviction:
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="session_ttl"):
+            SolverServer(session_ttl=0)
+        with pytest.raises(ValueError, match="max_sessions"):
+            SolverServer(max_sessions=0)
+
+    def test_lru_cap_evicts_and_refactorizes_cleanly(self, rng):
+        """An LRU-displaced session is gone but rebuilds correctly."""
+        a = circuit_like(100, seed=3)
+        other = poisson2d(10)
+        with BackgroundServer(batch_window=0.01, max_sessions=1) as bg:
+            with SolverClient(bg.host, bg.port) as client:
+                s1 = client.factorize(a, solver="pangulu",
+                                      block_size=16)["session"]
+                s2 = client.factorize(other, solver="pangulu",
+                                      block_size=16)["session"]
+                stats = client.stats()
+                resident = [s["session"] for s in stats["sessions"]]
+                assert resident == [s2]
+                evictions = stats["metrics"]["session_cache"]["evictions"]
+                assert evictions.get("lru") == 1
+                with pytest.raises(ServerError) as exc:
+                    client.solve(s1, rng.standard_normal(a.nrows))
+                assert exc.value.code == "UNKNOWN_SESSION"
+                # the evicted pattern re-factorizes from scratch and
+                # solves to full accuracy — nothing stale survived
+                info = client.factorize(a, solver="pangulu", block_size=16)
+                assert info["session"] == s1
+                assert info["fast_path"] is False
+                x_true = rng.standard_normal(a.nrows)
+                x = client.solve(s1, matvec(a, x_true), refine=1)
+                assert (np.linalg.norm(x - x_true)
+                        < 1e-10 * np.linalg.norm(x_true))
+
+    def test_ttl_evicts_idle_sessions(self, rng):
+        a = circuit_like(80, seed=5)
+        with BackgroundServer(batch_window=0.01, session_ttl=0.2) as bg:
+            with SolverClient(bg.host, bg.port) as client:
+                s = client.factorize(a, solver="pangulu",
+                                     block_size=16)["session"]
+                assert client.stats()["config"]["session_ttl"] == 0.2
+                time.sleep(0.4)
+                stats = client.stats()  # the stats dispatch runs the sweep
+                assert stats["sessions"] == []
+                ev = stats["metrics"]["session_cache"]["evictions"]
+                assert ev.get("ttl") == 1
+                with pytest.raises(ServerError) as exc:
+                    client.solve(s, rng.standard_normal(a.nrows))
+                assert exc.value.code == "UNKNOWN_SESSION"
+                info = client.factorize(a, solver="pangulu", block_size=16)
+                assert info["fast_path"] is False
+                x_true = rng.standard_normal(a.nrows)
+                x = client.solve(s, matvec(a, x_true), refine=1)
+                assert (np.linalg.norm(x - x_true)
+                        < 1e-10 * np.linalg.norm(x_true))
+
+    def test_touch_defers_ttl(self):
+        """Steady traffic keeps a session resident past its TTL."""
+        a = circuit_like(80, seed=9)
+        with BackgroundServer(batch_window=0.01, session_ttl=0.5) as bg:
+            with SolverClient(bg.host, bg.port) as client:
+                s = client.factorize(a, solver="pangulu",
+                                     block_size=16)["session"]
+                for _ in range(4):
+                    time.sleep(0.2)
+                    client.refactorize(s, data=a.data)
+                stats = client.stats()
+                assert [x["session"] for x in stats["sessions"]] == [s]
+                assert not stats["metrics"]["session_cache"]["evictions"]
