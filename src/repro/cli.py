@@ -237,7 +237,7 @@ def cmd_distsim(args) -> int:
     res = DistributedSimulator(
         dag, backend, CLUSTERS[args.cluster],
         args.gpus, args.policy, record_trace=want_trace,
-        faults=spec, engine=args.engine).run()
+        faults=spec, engine=args.engine, certify=args.certify).run()
     summary = res.summary()
     rows = []
     for k, v in summary.items():
@@ -275,6 +275,12 @@ def cmd_distsim(args) -> int:
 def cmd_verify(args) -> int:
     """Static verification gate: linter, golden schedules, case files.
 
+    With ``--plan`` the whole-plan analyzer certifies every golden
+    configuration's distributed plan (owner-compute ranks on a
+    ``--gpus``-wide grid) before any simulation — happens-before races,
+    wait cycles, fault-protocol liveness and worst-case memory
+    high-water marks — once fault-free plus once per ``--faults`` spec.
+
     Exit status: 0 when everything verifies clean, 1 when violations are
     found, 2 when an adversarial case misses one of its declared
     ``expect`` codes (a silently weakened analyzer).
@@ -282,6 +288,27 @@ def cmd_verify(args) -> int:
     import pathlib
 
     from repro.verify.lint import lint_paths
+
+    if args.plan:
+        from repro.cluster import FaultSpec, ProcessGrid
+        from repro.verify.golden import golden_configs
+        from repro.verify.plan import PlanSpec, verify_plan
+
+        specs = [(None, None)]
+        for path in args.faults or []:
+            specs.append((path, FaultSpec.from_json(path)))
+        grid = ProcessGrid(args.gpus)
+        gpu = CLUSTERS[args.cluster].gpu
+        total = 0
+        for name, dag, _, _ in golden_configs():
+            for label, spec in specs:
+                subject = f"plan:{name}/{label or 'fault-free'}"
+                report = verify_plan(
+                    PlanSpec.from_dag(dag, grid, faults=spec, gpu=gpu),
+                    subject=subject)
+                print(report.describe())
+                total += len(report.violations)
+        return 1 if total else 0
 
     if args.case:
         from repro.verify.cases import run_case_file
@@ -510,6 +537,9 @@ def build_parser() -> argparse.ArgumentParser:
     d.add_argument("--verify", action="store_true",
                    help="run the TraceVerifier on the recorded trace "
                         "(violations exit 1)")
+    d.add_argument("--certify", action="store_true",
+                   help="statically certify the whole plan (races, wait "
+                        "cycles, liveness, memory) before simulating")
     d.add_argument("--engine", default=None,
                    choices=("arena", "legacy"),
                    help="event engine (default: arena, or "
@@ -586,6 +616,18 @@ def build_parser() -> argparse.ArgumentParser:
     v.add_argument("--case", action="append", default=None,
                    help="adversarial case JSON to run (repeatable; runs "
                         "only the cases)")
+    v.add_argument("--plan", action="store_true",
+                   help="statically certify every golden configuration's "
+                        "distributed plan (races, wait cycles, liveness, "
+                        "memory high-water marks) before simulation")
+    v.add_argument("--faults", action="append", default=None,
+                   help="fault-spec JSON the plan certification composes "
+                        "with (repeatable; used with --plan)")
+    v.add_argument("--gpus", type=int, default=8,
+                   help="process-grid width for --plan certification")
+    v.add_argument("--cluster", default="h100", choices=sorted(CLUSTERS),
+                   help="cluster preset supplying the per-rank memory "
+                        "budget for --plan")
     return p
 
 

@@ -391,7 +391,8 @@ class DistributedSimulator:
                  record_trace: bool = False,
                  msg_scale: float = 1.0,
                  faults: FaultSpec | None = None,
-                 engine: str | None = None):
+                 engine: str | None = None,
+                 certify: bool = False):
         if policy not in POLICIES:
             raise ValueError(f"unknown policy {policy!r}; choose from {POLICIES}")
         if nprocs < 1:
@@ -422,6 +423,10 @@ class DistributedSimulator:
         #: Figure 12 regimes) scale tile bytes quadratically in the linear
         #: tile-scale factor (DESIGN.md §3)
         self.msg_scale = msg_scale
+        #: opt-in static precondition: certify the whole plan (races,
+        #: wait cycles, liveness, memory high-water marks) with
+        #: :mod:`repro.verify.plan` before the first event fires
+        self.certify = certify
 
     def owner_of_task(self, tid: int) -> int:
         """Rank executing a task = owner of its output tile."""
@@ -436,6 +441,15 @@ class DistributedSimulator:
         extended loop with per-edge delivery tracking, retransmit timers
         and death/recovery events — in both engines.
         """
+        if self.certify:
+            # lazy import: repro.verify.plan imports repro.cluster
+            from repro.verify.plan import PlanSpec, verify_plan
+
+            verify_plan(
+                PlanSpec.from_dag(
+                    self.dag, self.grid, faults=self.faults,
+                    gpu=self.cluster.gpu, msg_scale=self.msg_scale),
+                subject="distsim-plan").raise_if_violations()
         if self.engine == "arena":
             from repro.cluster.engine import run_arena, run_arena_faulty
 

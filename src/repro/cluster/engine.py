@@ -547,6 +547,7 @@ def _initial_width(cluster) -> float:
     return width if width > 0 else 1e-6
 
 
+# verify: effects(arena)
 def run_arena(sim) -> DistributedResult:
     """Fault-free event loop on the arena engine.
 
@@ -763,6 +764,12 @@ def run_arena(sim) -> DistributedResult:
                         push(float(arrival[s]), K_READY, e_dst_l[e], s)
             if t > makespan:
                 makespan = t
+        elif kind == K_WAKE:
+            pass  # wakes only exist to reach the launch tail below
+        else:
+            # K_XMIT / K_DELIVER / K_DEATH never enter the lossless loop
+            raise AssertionError(
+                f"unexpected event kind {kind} in the lossless loop")
         if no_wakes:
             # trojan never schedules wakes, so skip the wake-pending
             # bookkeeping entirely on this (hot) variant of the tail
@@ -829,6 +836,7 @@ def run_arena(sim) -> DistributedResult:
     )
 
 
+# verify: effects(arena)
 def run_arena_faulty(sim) -> DistributedResult:
     """Fault-injected event loop on the arena engine.
 
@@ -1088,10 +1096,10 @@ def run_arena_faulty(sim) -> DistributedResult:
         if kind == K_DEATH:
             handle_death(t, rank)
             continue
-        if kind == K_XMIT:
+        elif kind == K_XMIT:
             handle_xmit(t, payload)
             continue
-        if kind == K_DELIVER:
+        elif kind == K_DELIVER:
             handle_deliver(t, payload)
             rank = deliver_list[payload][3]
         elif kind == K_READY:
@@ -1120,6 +1128,11 @@ def run_arena_faulty(sim) -> DistributedResult:
                     finished.append(tid)
             propagate(t, finished, rank)
             makespan = max(makespan, t)
+        elif kind == K_WAKE:
+            pass  # wakes only exist to reach the launch tail below
+        else:
+            raise AssertionError(
+                f"unexpected event kind {kind} in the faulty loop")
         if not alive[rank]:
             continue
         proc = procs[rank]

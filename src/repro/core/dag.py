@@ -119,6 +119,8 @@ class TaskDAG:
         default=None, init=False, repr=False, compare=False)
     _cp_cache: np.ndarray | None = field(
         default=None, init=False, repr=False, compare=False)
+    _levels_cache: list | None = field(
+        default=None, init=False, repr=False, compare=False)
 
     @property
     def n_tasks(self) -> int:
@@ -177,8 +179,12 @@ class TaskDAG:
             nbytes = np.fromiter((t.bytes_est for t in self.tasks),
                                  np.int64, count=n)
             nnz = np.fromiter((t.nnz for t in self.tasks), np.int64, count=n)
-            target = np.where(type_code == int(TaskType.SSSSM),
-                              i * nb + j, -1)
+            # lazy import: repro.verify.effects is the single definition
+            # of write footprints, but importing it at module top would
+            # cycle through repro.verify.__init__ while repro.core is
+            # still mid-import
+            from repro.verify.effects import atomic_write_targets
+            target = atomic_write_targets(type_code, i, j, nb)
             object.__setattr__(self, "_arrays", TaskArrays(
                 type_code=type_code, k=k, i=i, j=j, distance=np.abs(i - j),
                 cuda_blocks=blocks, shared_mem=shmem, flops_est=flops,
@@ -210,15 +216,22 @@ class TaskDAG:
             )
 
     def _peel_levels(self, check: bool = True) -> list[np.ndarray]:
-        indptr, indices = self.successor_csr()
-        indeg = self.pred_count.copy()
-        frontier = np.flatnonzero(indeg == 0)
-        levels = []
-        while frontier.size:
-            levels.append(frontier)
-            succ, _ = _gather_csr(indptr, indices, frontier)
-            np.subtract.at(indeg, succ, 1)
-            frontier = np.unique(succ[indeg[succ] == 0])
+        if self._levels_cache is not None:
+            levels = self._levels_cache
+        else:
+            indptr, indices = self.successor_csr()
+            indeg = self.pred_count.copy()
+            frontier = np.flatnonzero(indeg == 0)
+            levels = []
+            while frontier.size:
+                levels.append(frontier)
+                succ, _ = _gather_csr(indptr, indices, frontier)
+                np.subtract.at(indeg, succ, 1)
+                frontier = np.unique(succ[indeg[succ] == 0])
+            # cache only complete peels: a cyclic DAG's partial peel
+            # must stay recomputable so validate() keeps reporting it
+            if sum(f.size for f in levels) == self.n_tasks:
+                object.__setattr__(self, "_levels_cache", levels)
         if check and sum(f.size for f in levels) != self.n_tasks:
             raise AssertionError("level schedule did not cover the DAG")
         return levels
@@ -229,7 +242,8 @@ class TaskDAG:
         Level ``d`` holds every task whose longest chain of predecessors
         has length ``d``; its width is the number of tasks executable in
         parallel at time step ``d``.  Tasks within a level are in
-        ascending id order.
+        ascending id order.  Computed once and cached (the DAG is
+        immutable); treat the returned arrays as read-only.
         """
         return self._peel_levels(check=True)
 

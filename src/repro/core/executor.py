@@ -232,12 +232,16 @@ class Executor:
         """
         if not tasks:
             raise ValueError("cannot launch an empty batch")
+        # lazy import: repro.verify.effects imports TaskType, which
+        # re-enters repro.core while it is still mid-import if
+        # repro.verify loads first
+        from repro.verify.effects import ATOMIC_TASK_TYPES
         # in-batch write conflicts among Schur updates: encode SSSSM
         # targets as flat tile ids (-1 = no atomic-capable target)
         n = len(tasks)
         max_j = max(t.j for t in tasks) + 1
         target = np.fromiter(
-            (t.i * max_j + t.j if t.type == TaskType.SSSSM else -1
+            (t.i * max_j + t.j if t.type in ATOMIC_TASK_TYPES else -1
              for t in tasks),
             dtype=np.int64, count=n)
         atomic_flags = batch_atomic_flags(target, out=self._atomic_out(n))

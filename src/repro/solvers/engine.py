@@ -152,6 +152,7 @@ class NumericEngine:
                             self.tiles[(task.k, task.j)],
                             sparse=sp, atomic=atomic)
 
+    # verify: effects(arena)
     def run_batch_tasks(self, tids: np.ndarray, atomic: np.ndarray,
                         arrays) -> tuple[np.ndarray, np.ndarray]:
         """Execute one launch's tasks with batched kernel groups.

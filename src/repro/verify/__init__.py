@@ -1,6 +1,6 @@
 """``repro.verify`` — static schedule/race verification + repo linting.
 
-Three analyzers prove safety properties *without executing anything*:
+Four analyzers prove safety properties *without executing anything*:
 
 * :class:`~repro.verify.schedule.ScheduleVerifier` — batch sequences
   against a :class:`~repro.core.dag.TaskDAG`: dependency order,
@@ -10,21 +10,38 @@ Three analyzers prove safety properties *without executing anything*:
 * :class:`~repro.verify.trace.TraceVerifier` — distributed comm traces:
   every send delivered, no early tile consumption, per-rank memory
   budgets.
+* :class:`~repro.verify.plan.PlanVerifier` — whole distributed plans
+  (DAG + per-rank program orders + grid ownership + fault spec),
+  certified *before* simulation: vector-clock happens-before races,
+  wait-cycle/orphaned-send liveness composed with the fault protocol,
+  effect-footprint/edge consistency, per-rank memory high-water marks.
 * :func:`~repro.verify.lint.lint_paths` — AST lint pass enforcing the
   repo's own invariants (vectorized hot modules, picklable sweep
-  recipes, immutable cached analysis, exhaustive TaskType dispatch).
+  recipes, immutable cached analysis, exhaustive TaskType and
+  event-kind dispatch, effect-declared arena mutation).
 
-All three emit :class:`~repro.verify.report.VerificationReport` and are
-wired into ``python -m repro verify`` plus the CI ``verify`` job.
+All four emit :class:`~repro.verify.report.VerificationReport` and are
+wired into ``python -m repro verify`` plus the CI ``verify`` and
+``verify-plan`` jobs.
 
 Import-order note: :mod:`repro.core.executor` imports the leaf
-:mod:`repro.verify.hazards`, so this ``__init__`` pulls the leaf modules
-first and never imports :mod:`repro.verify.golden`/``cases`` (they need
-the fully built :mod:`repro.core`).
+:mod:`repro.verify.hazards` at module scope and
+:mod:`repro.verify.effects` lazily (``effects`` needs
+:mod:`repro.core.task`, which re-enters a mid-import ``repro.core``),
+so this ``__init__`` pulls the leaf modules first and never imports
+:mod:`repro.verify.plan`/``golden``/``cases`` — those need the fully
+built :mod:`repro.core` (and ``plan`` also :mod:`repro.cluster`).
 """
 
 from repro.verify.report import Violation, VerificationReport
 from repro.verify.hazards import batch_atomic_flags
+from repro.verify.effects import (
+    ATOMIC_TASK_TYPES,
+    EffectFootprints,
+    atomic_write_targets,
+    effect_footprints,
+    footprints_from_arrays,
+)
 from repro.verify.schedule import ScheduleVerifier, verify_schedule
 from repro.verify.trace import (
     DistTrace,
@@ -38,6 +55,11 @@ __all__ = [
     "Violation",
     "VerificationReport",
     "batch_atomic_flags",
+    "ATOMIC_TASK_TYPES",
+    "EffectFootprints",
+    "atomic_write_targets",
+    "effect_footprints",
+    "footprints_from_arrays",
     "ScheduleVerifier",
     "verify_schedule",
     "DistTrace",

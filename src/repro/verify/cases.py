@@ -28,6 +28,13 @@ Trace case::
      "trace": {"nprocs": 2, "tasks": [...], "edges": [...],
                "sends": [...]}}
 
+Plan case (a whole distributed plan, certified statically by
+:mod:`repro.verify.plan` — see ``tests/golden/plans``)::
+
+    {"kind": "plan",
+     "expect": ["PLAN_RACE_WW"],
+     "plan": {"nprocs": 2, "nb": 2, "tasks": [...], "edges": [...]}}
+
 ``expect`` lists violation codes the case must trigger; the CLI checks
 them so a silently weakened check fails the build too.
 """
@@ -157,6 +164,12 @@ def run_case(case: dict, subject: str = "case") -> VerificationReport:
     if kind == "trace":
         trace = DistTrace.from_dict(case["trace"])
         return TraceVerifier(trace).verify(subject=subject)
+    if kind == "plan":
+        # lazy import: repro.verify.plan pulls in repro.cluster, which
+        # must not load during repro.verify.__init__
+        from repro.verify.plan import PlanSpec, PlanVerifier
+        plan = PlanSpec.from_dict(case["plan"])
+        return PlanVerifier(plan).verify(subject=subject)
     raise ValueError(f"unknown case kind {kind!r}")
 
 

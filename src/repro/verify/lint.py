@@ -26,6 +26,20 @@ see — they are properties of the *source*, not of any run:
     Dispatch tables keyed by ``TaskType.X`` literals must cover every
     kernel type, so adding a member can never silently fall through.
 
+``event-kind-dispatch``
+    An ``if``/``elif`` chain comparing against the event-kind constants
+    of ``cluster/eventarena.py`` (``K_READY`` … ``K_DEATH``) must either
+    mention every kind or end in a plain ``else`` — a new event kind
+    must never silently fall through an engine dispatch chain.
+
+``arena-mutation``
+    The event arena's flat buffers are shared by every rank's scheduler;
+    mutating them (directly or through an alias like
+    ``spill = arena._spill``) is only legal inside the arena's own
+    methods or inside a function that *declares* the effect with
+    ``# verify: effects(arena)`` on its ``def`` line — the engine entry
+    points.  Anything else is an undeclared cross-rank side effect.
+
 A finding is waived by putting ``# verify: waive(<rule>)`` on the
 offending line or the line directly above it — waivers are explicit and
 grep-able, never implicit.
@@ -47,6 +61,8 @@ RULES = {
     "unpicklable-recipe": rep.LINT_UNPICKLABLE_RECIPE,
     "cache-mutation": rep.LINT_CACHE_MUTATION,
     "tasktype-dispatch": rep.LINT_TASKTYPE_DISPATCH,
+    "event-kind-dispatch": rep.LINT_EVENT_DISPATCH,
+    "arena-mutation": rep.LINT_ARENA_MUTATION,
 }
 
 #: Module path fragments the per-nnz-loop rule binds to (hot paths the
@@ -55,6 +71,8 @@ HOT_NNZ_MODULES = (
     "sparse/",
     "kernels/batched.py",
     "kernels/flops.py",
+    "cluster/engine.py",
+    "cluster/eventarena.py",
 )
 
 #: Constructors whose arguments must stay picklable (sweep recipes).
@@ -75,7 +93,16 @@ MUTATORS = frozenset({
 
 _WAIVE_RE = re.compile(r"#\s*verify:\s*waive\(\s*([a-z0-9\-_,\s]+?)\s*\)")
 
+_EFFECTS_RE = re.compile(r"#\s*verify:\s*effects\(\s*arena\s*\)")
+
 _TASKTYPE_MEMBERS = frozenset(t.name for t in TaskType)
+
+#: The event kinds of ``cluster/eventarena.py``; a unit test asserts
+#: this set matches the real ``K_*`` constants, so adding a kind there
+#: without extending the rule fails the build.
+EVENT_KIND_MEMBERS = frozenset({
+    "K_READY", "K_DONE", "K_WAKE", "K_XMIT", "K_DELIVER", "K_DEATH",
+})
 
 
 def _waivers(source: str) -> dict:
@@ -88,6 +115,18 @@ def _waivers(source: str) -> dict:
             out.setdefault(lineno, set()).update(rules)
             out.setdefault(lineno + 1, set()).update(rules)
     return out
+
+
+def _effect_decls(source: str) -> frozenset:
+    """Line numbers covered by an ``# verify: effects(arena)`` marker
+    (the marker's line and the line below, so it can sit above a
+    ``def``)."""
+    lines = set()
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        if _EFFECTS_RE.search(line):
+            lines.add(lineno)
+            lines.add(lineno + 1)
+    return frozenset(lines)
 
 
 def _names_in(node: ast.AST):
@@ -127,6 +166,15 @@ class _FileLinter(ast.NodeVisitor):
         self.found: list[Violation] = []
         # names bound from cache accessors, per enclosing function scope
         self._tainted_stack: list[set] = [set()]
+        # names aliasing arena internals, per enclosing function scope
+        self._arena_stack: list[set] = [set()]
+        # whether the current scope may mutate arenas: inside an
+        # ``*Arena`` class body, or inside a function (or closure of
+        # one) marked ``# verify: effects(arena)``
+        self._effect_lines = _effect_decls(source)
+        self._effects_ok: list[bool] = [False]
+        # elif nodes already folded into an outer dispatch chain
+        self._chained: set = set()
 
     # -- plumbing ------------------------------------------------------
     def _emit(self, rule: str, node: ast.AST, message: str) -> None:
@@ -139,18 +187,36 @@ class _FileLinter(ast.NodeVisitor):
             file=self.path, line=node.lineno,
         ))
 
-    # -- scope handling for cache-mutation -----------------------------
+    # -- scope handling for cache-mutation / arena-mutation ------------
     def _visit_scope(self, node) -> None:
         self._tainted_stack.append(set())
+        self._arena_stack.append(set())
+        self._effects_ok.append(
+            self._effects_ok[-1]
+            or node.lineno in self._effect_lines)
         self.generic_visit(node)
+        self._effects_ok.pop()
+        self._arena_stack.pop()
         self._tainted_stack.pop()
 
     visit_FunctionDef = _visit_scope
     visit_AsyncFunctionDef = _visit_scope
 
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._effects_ok.append(
+            self._effects_ok[-1] or "Arena" in node.name)
+        self.generic_visit(node)
+        self._effects_ok.pop()
+
     @property
     def _tainted(self) -> set:
         return self._tainted_stack[-1]
+
+    def _is_arena_root(self, name: str | None) -> bool:
+        if name is None:
+            return False
+        return name == "arena" or name.endswith("_arena") \
+            or name in self._arena_stack[-1]
 
     # -- rule: per-nnz-loop --------------------------------------------
     def visit_For(self, node: ast.For) -> None:
@@ -182,7 +248,38 @@ class _FileLinter(ast.NodeVisitor):
                 "'# verify: waive(per-nnz-loop)'",
             )
 
-    # -- rule: unpicklable-recipe + cache-mutation (calls) -------------
+    # -- rule: event-kind-dispatch -------------------------------------
+    def visit_If(self, node: ast.If) -> None:
+        if id(node) not in self._chained:
+            self._check_event_dispatch(node)
+        self.generic_visit(node)
+
+    def _check_event_dispatch(self, node: ast.If) -> None:
+        """Walk one whole ``if``/``elif`` chain starting at ``node``."""
+        mentioned: set = set()
+        cur: ast.If | None = node
+        has_else = False
+        while cur is not None:
+            mentioned.update(n for n in _names_in(cur.test)
+                             if n in EVENT_KIND_MEMBERS)
+            nxt = cur.orelse
+            if len(nxt) == 1 and isinstance(nxt[0], ast.If):
+                cur = nxt[0]
+                self._chained.add(id(cur))
+            else:
+                has_else = bool(nxt)
+                cur = None
+        if mentioned and not has_else \
+                and mentioned != EVENT_KIND_MEMBERS:
+            missing = sorted(EVENT_KIND_MEMBERS - mentioned)
+            self._emit(
+                "event-kind-dispatch", node,
+                "event-kind dispatch chain is not exhaustive — missing "
+                f"{', '.join(missing)} and no trailing else; a new "
+                "event kind would silently fall through",
+            )
+
+    # -- rule: unpicklable-recipe + mutation rules (calls) -------------
     def visit_Call(self, node: ast.Call) -> None:
         name = _call_name(node)
         if name in RECIPE_CTORS or name == "submit":
@@ -205,9 +302,25 @@ class _FileLinter(ast.NodeVisitor):
                     f"'{root}.{node.func.attr}(...)' mutates an object "
                     "returned by the shared analysis cache",
                 )
+            if not self._effects_ok[-1] and self._is_arena_root(root):
+                self._emit(
+                    "arena-mutation", node,
+                    f"'{root}.{node.func.attr}(...)' mutates shared "
+                    "arena state outside a declared "
+                    "'# verify: effects(arena)' entry point",
+                )
+        if name in ("heappush", "heappop", "heapify", "heapreplace") \
+                and node.args and not self._effects_ok[-1]:
+            root = _root_name(node.args[0])
+            if self._is_arena_root(root):
+                self._emit(
+                    "arena-mutation", node,
+                    f"{name}() on arena-backed heap '{root}' outside a "
+                    "declared '# verify: effects(arena)' entry point",
+                )
         self.generic_visit(node)
 
-    # -- rule: cache-mutation (assignments) ----------------------------
+    # -- rules: cache-mutation + arena-mutation (assignments) ----------
     def visit_Assign(self, node: ast.Assign) -> None:
         if isinstance(node.value, ast.Call) \
                 and _call_name(node.value) in CACHE_ACCESSORS:
@@ -220,6 +333,13 @@ class _FileLinter(ast.NodeVisitor):
                         self._tainted.add(e.id)
             self.generic_visit(node)
             return
+        # ``spill = arena._spill`` aliases arena internals: writes
+        # through ``spill`` are arena mutations from here on
+        if isinstance(node.value, (ast.Attribute, ast.Subscript)) \
+                and self._is_arena_root(_root_name(node.value)):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self._arena_stack[-1].add(target.id)
         self._check_mutating_target(node, node.targets)
         self.generic_visit(node)
 
@@ -236,6 +356,14 @@ class _FileLinter(ast.NodeVisitor):
                         "cache-mutation", node,
                         f"assignment into '{root}' mutates an object "
                         "returned by the shared analysis cache",
+                    )
+                if not self._effects_ok[-1] \
+                        and self._is_arena_root(root):
+                    self._emit(
+                        "arena-mutation", node,
+                        f"assignment into '{root}' mutates shared arena "
+                        "state outside a declared "
+                        "'# verify: effects(arena)' entry point",
                     )
 
     # -- rule: tasktype-dispatch ---------------------------------------

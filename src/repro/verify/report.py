@@ -32,11 +32,23 @@ TRACE_MEM_BUDGET = "TRACE_MEM_BUDGET"
 TRACE_TASK_MISSING = "TRACE_TASK_MISSING"
 TRACE_DEAD_SEND = "TRACE_DEAD_SEND"
 
+# -- plan verifier codes (static whole-plan certification) -------------
+PLAN_EFFECT_EDGE = "PLAN_EFFECT_EDGE"
+PLAN_RACE_WW = "PLAN_RACE_WW"
+PLAN_RACE_RW = "PLAN_RACE_RW"
+PLAN_WAIT_CYCLE = "PLAN_WAIT_CYCLE"
+PLAN_ORPHAN_SEND = "PLAN_ORPHAN_SEND"
+PLAN_ORPHAN_RECV = "PLAN_ORPHAN_RECV"
+PLAN_DEAD_SEND = "PLAN_DEAD_SEND"
+PLAN_MEM_HWM = "PLAN_MEM_HWM"
+
 # -- lint codes --------------------------------------------------------
 LINT_NNZ_LOOP = "LINT_NNZ_LOOP"
 LINT_UNPICKLABLE_RECIPE = "LINT_UNPICKLABLE_RECIPE"
 LINT_CACHE_MUTATION = "LINT_CACHE_MUTATION"
 LINT_TASKTYPE_DISPATCH = "LINT_TASKTYPE_DISPATCH"
+LINT_EVENT_DISPATCH = "LINT_EVENT_DISPATCH"
+LINT_ARENA_MUTATION = "LINT_ARENA_MUTATION"
 
 
 @dataclass(frozen=True)

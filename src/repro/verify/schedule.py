@@ -43,8 +43,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.dag import TaskDAG, _gather_csr
-from repro.core.task import TaskType
 from repro.verify import report as rep
+from repro.verify.effects import effect_footprints
 from repro.verify.report import VerificationReport, Violation
 
 #: Tolerance on simulated timestamps, matching the old validate_schedule.
@@ -96,32 +96,17 @@ class ScheduleVerifier:
         n = dag.n_tasks
         if n:
             arrays = dag.task_arrays()
-            nb = dag.part.nblocks
-            self._ntiles = nb * nb
-            code = arrays.type_code
-            self._write_tile = arrays.i * nb + arrays.j
-            self._is_atomic_type = code == int(TaskType.SSSSM)
-            # read sets: TSTRF/GEESM read the step's diagonal tile (k,k);
-            # SSSSM reads its two factor panels (i,k) and (k,j); GETRF
-            # factors its own tile in place (no foreign reads).  The
-            # SSSSM *target* read is part of the atomic accumulate and is
-            # deliberately not a read hazard (PR 3's serial-apply rule).
-            # Solve phase: SPTRSV_UPDATE reads its source RHS block
-            # (k,k); its destination accumulate-read mirrors the SSSSM
-            # target rule, and SPTRSV_DIAG's factor-tile read needs no
-            # entry because factor tiles are never written during a
-            # solve.
-            tri = (code == int(TaskType.TSTRF)) | (code == int(TaskType.GEESM))
-            sel_tri = np.flatnonzero(tri)
-            sel_s = np.flatnonzero(self._is_atomic_type)
-            sel_u = np.flatnonzero(code == int(TaskType.SPTRSV_UPDATE))
-            self._read_owner = np.concatenate([sel_tri, sel_s, sel_s, sel_u])
-            self._read_tile = np.concatenate([
-                arrays.k[sel_tri] * nb + arrays.k[sel_tri],
-                arrays.i[sel_s] * nb + arrays.k[sel_s],
-                arrays.k[sel_s] * nb + arrays.j[sel_s],
-                arrays.k[sel_u] * nb + arrays.k[sel_u],
-            ])
+            # read/write tile sets come from the shared effect-footprint
+            # layer (repro.verify.effects) — the same derivation the
+            # Executor's atomic scan and the plan analyzer use, so the
+            # hazard semantics (including the atomic serial-apply rule
+            # and the solve phase's lack of one) can never disagree
+            fp = effect_footprints(dag)
+            self._ntiles = fp.ntiles
+            self._write_tile = fp.write_tile
+            self._is_atomic_type = fp.is_atomic
+            self._read_owner = fp.read_owner
+            self._read_tile = fp.read_tile
             self._blocks = arrays.cuda_blocks
             self._shmem = arrays.shared_mem
 

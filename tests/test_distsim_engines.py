@@ -61,6 +61,16 @@ def trace_digest(res) -> str:
 
 
 def assert_engines_identical(dag, backend, policy, spec=None, nprocs=8):
+    # differential consistency: a plan the static analyzer certifies
+    # clean must also simulate to a trace the TraceVerifier accepts —
+    # the two views of the same plan can never disagree
+    from repro.cluster import ProcessGrid
+    from repro.verify.plan import PlanSpec, verify_plan
+    from repro.verify.trace import verify_trace
+
+    plan_report = verify_plan(PlanSpec.from_dag(
+        dag, ProcessGrid(nprocs), faults=spec, gpu=H100_CLUSTER.gpu))
+    assert plan_report.ok, plan_report.describe()
     results = {}
     for engine in ("arena", "legacy"):
         results[engine] = DistributedSimulator(
@@ -75,6 +85,8 @@ def assert_engines_identical(dag, backend, policy, spec=None, nprocs=8):
     # cohort batching changes *when* accounting happens, not how much
     assert ea["events"] == el["events"]
     assert ea["engine"] == "arena" and el["engine"] == "legacy"
+    trace_report = verify_trace(ra.trace)
+    assert trace_report.ok, trace_report.describe()
     return ra
 
 

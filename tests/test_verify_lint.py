@@ -171,6 +171,123 @@ class TestTaskTypeDispatch:
         assert _codes("D = {'a': 1}\n") == []
 
 
+class TestEventKindDispatch:
+    CHAIN = """\
+        def loop(kind, payload):
+            if kind == K_READY:
+                a(payload)
+            elif kind == K_DONE:
+                b(payload)
+        """
+
+    def test_partial_chain_flagged(self):
+        found = lint_source(textwrap.dedent(self.CHAIN))
+        assert [v.code for v in found] == [rep.LINT_EVENT_DISPATCH]
+        assert "K_DEATH" in found[0].message
+
+    def test_full_chain_fine(self):
+        src = """\
+            def loop(kind):
+                if kind == K_READY:
+                    a()
+                elif kind == K_DONE:
+                    b()
+                elif kind == K_WAKE:
+                    c()
+                elif kind == K_XMIT:
+                    d()
+                elif kind == K_DELIVER:
+                    e()
+                elif kind == K_DEATH:
+                    f()
+            """
+        assert _codes(src) == []
+
+    def test_trailing_else_fine(self):
+        src = """\
+            def loop(kind):
+                if kind == K_READY:
+                    a()
+                else:
+                    b()
+            """
+        assert _codes(src) == []
+
+    def test_membership_test_counts(self):
+        src = """\
+            def loop(kind):
+                if kind in (K_READY, K_DONE, K_WAKE):
+                    a()
+                elif kind in (K_XMIT, K_DELIVER, K_DEATH):
+                    b()
+            """
+        assert _codes(src) == []
+
+    def test_non_kind_chain_ignored(self):
+        assert _codes("if x == 1:\n    a()\nelif x == 2:\n    b()\n") == []
+
+    def test_waiver_suppresses(self):
+        src = ("# verify: waive(event-kind-dispatch)\n"
+               "if kind == K_READY:\n    a()\n")
+        assert _codes(src) == []
+
+    def test_members_match_eventarena_constants(self):
+        # the rule's hardcoded kind set must track the real constants
+        import repro.cluster.eventarena as ea
+        from repro.verify.lint import EVENT_KIND_MEMBERS
+
+        real = {n for n in dir(ea)
+                if n.startswith("K_") and isinstance(getattr(ea, n), int)}
+        assert real == EVENT_KIND_MEMBERS
+
+
+class TestArenaMutation:
+    def test_direct_mutation_flagged(self):
+        src = "def f(arena):\n    arena.stats.x = 1\n"
+        assert _codes(src) == [rep.LINT_ARENA_MUTATION]
+
+    def test_alias_mutation_flagged(self):
+        src = ("def f(arena):\n"
+               "    spill = arena._spill\n"
+               "    spill.append(3)\n")
+        assert _codes(src) == [rep.LINT_ARENA_MUTATION]
+
+    def test_heappush_on_alias_flagged(self):
+        src = ("def f(arena):\n"
+               "    spill = arena._spill\n"
+               "    heappush(spill, (1, 2))\n")
+        assert _codes(src) == [rep.LINT_ARENA_MUTATION]
+
+    def test_read_only_access_fine(self):
+        src = ("def f(arena):\n"
+               "    kinds = arena._kind\n"
+               "    return kinds[0], len(arena._spill)\n")
+        assert _codes(src) == []
+
+    def test_effects_declaration_exempts(self):
+        src = ("# verify: effects(arena)\n"
+               "def run(arena):\n"
+               "    arena.stats.x = 1\n")
+        assert _codes(src) == []
+
+    def test_declaration_covers_closures(self):
+        src = ("# verify: effects(arena)\n"
+               "def run(arena):\n"
+               "    def flush():\n"
+               "        arena._spill.clear()\n"
+               "    flush()\n")
+        assert _codes(src) == []
+
+    def test_arena_class_methods_exempt(self):
+        src = ("class EventArena:\n"
+               "    def push(self, arena):\n"
+               "        arena._spill.append(1)\n")
+        assert _codes(src) == []
+
+    def test_unrelated_mutation_fine(self):
+        assert _codes("def f(xs):\n    xs.append(1)\n") == []
+
+
 class TestDriver:
     def test_unknown_rule_rejected(self):
         with pytest.raises(ValueError, match="unknown lint rules"):
@@ -210,4 +327,5 @@ class TestDriver:
 
     def test_rules_registry_complete(self):
         assert set(RULES) == {"per-nnz-loop", "unpicklable-recipe",
-                              "cache-mutation", "tasktype-dispatch"}
+                              "cache-mutation", "tasktype-dispatch",
+                              "event-kind-dispatch", "arena-mutation"}
