@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 import numpy as np
 
@@ -149,6 +150,64 @@ def cmd_sptrsv(args) -> int:
             title=f"{phase}: {info['tasks']} tasks, depth "
                   f"{info['depth']}"))
     return 0
+
+
+def cmd_parallel(args) -> int:
+    """Multiprocess factor + solve, bit-checked against the in-process
+    engine.
+
+    Runs the coordinator/worker engine over shared-memory tile pools,
+    then replays the identical configuration on the single-process
+    engine and bit-compares L, U and the solve vectors.  Exit status 1
+    on any mismatch — this is the CI gate's workhorse.
+    """
+    from repro.parallel import ParallelExecutor
+
+    a = _load_matrix(args)
+    kwargs = {"ordering": args.ordering, "gpu": GPU_PRESETS[args.gpu]}
+    if args.solver == "superlu":
+        # the fusion rewrite bypasses batched groups; keep both sides on
+        # the same unfused DAG (ParallelExecutor defaults this off too)
+        kwargs["merge_schur"] = False
+    rng = np.random.default_rng(0)
+    b = rng.standard_normal((a.nrows, args.nrhs)) if args.nrhs > 1 \
+        else rng.standard_normal(a.nrows)
+    t0 = time.perf_counter()
+    with ParallelExecutor(a, solver=args.solver, workers=args.workers,
+                          scheduler=args.scheduler,
+                          solve_scheduler=args.solve_scheduler,
+                          certify=not args.no_certify,
+                          log_dir=args.log_dir, pin_blas=args.pin_blas,
+                          **kwargs) as ex:
+        res = ex.factorize()
+        x = ex.solve(b)
+        solve_messages = ex.solve_messages
+    wall = time.perf_counter() - t0
+    ref = SOLVERS[args.solver](a, scheduler=args.scheduler,
+                               **kwargs).factorize()
+    xr = ref.solve(b, batch_solve=True,
+                   solve_scheduler=args.solve_scheduler)
+    lu_ok = (np.array_equal(res.L.data, ref.L.data)
+             and np.array_equal(res.U.data, ref.U.data))
+    stats_ok = res.stats == ref.stats
+    x_ok = np.array_equal(x, xr)
+    print(format_table(
+        ["workers", "grid", "tasks", "batches", "msgs", "solve msgs",
+         "comm MB", "L/U bitwise", "stats", "x bitwise", "wall (s)"],
+        [[res.workers, f"{res.grid.pr}x{res.grid.pc}",
+          res.batch_plan.n_tasks, len(res.batch_plan.batches),
+          res.messages, solve_messages,
+          round(res.comm_bytes / 1e6, 3),
+          "yes" if lu_ok else "NO",
+          "yes" if stats_ok else "NO",
+          "yes" if x_ok else "NO",
+          round(wall, 3)]],
+        title=f"{args.solver} / {args.scheduler} multiprocess vs "
+              f"in-process (certify={'off' if args.no_certify else 'on'})"))
+    phases = res.phase_seconds
+    print("phases: " + "  ".join(f"{k}={v * 1e3:.1f}ms"
+                                 for k, v in sorted(phases.items())))
+    return 0 if (lu_ok and stats_ok and x_ok) else 1
 
 
 def cmd_compare(args) -> int:
@@ -508,6 +567,26 @@ def build_parser() -> argparse.ArgumentParser:
     t.add_argument("--solve-scheduler", default="trojan",
                    choices=SOLVE_SCHEDULER_NAMES)
 
+    pl = sub.add_parser(
+        "parallel",
+        help="multiprocess factor+solve over shared-memory tile pools, "
+             "bit-checked against the in-process engine")
+    common(pl)
+    pl.add_argument("--workers", type=int, default=2,
+                    help="worker-process count (= owner-compute ranks)")
+    pl.add_argument("--scheduler", default="trojan",
+                    choices=SCHEDULER_NAMES)
+    pl.add_argument("--solve-scheduler", default="trojan",
+                    choices=SOLVE_SCHEDULER_NAMES)
+    pl.add_argument("--nrhs", type=int, default=1,
+                    help="right-hand-side columns for the solve check")
+    pl.add_argument("--no-certify", action="store_true",
+                    help="skip the PlanVerifier certification gate")
+    pl.add_argument("--log-dir", default=None,
+                    help="directory for per-worker log files")
+    pl.add_argument("--pin-blas", type=int, default=None, metavar="T",
+                    help="spawn workers with BLAS pinned to T threads")
+
     c = sub.add_parser("compare", help="compare all schedulers")
     common(c)
 
@@ -638,6 +717,7 @@ def main(argv=None) -> int:
         "info": cmd_info,
         "factor": cmd_factor,
         "sptrsv": cmd_sptrsv,
+        "parallel": cmd_parallel,
         "compare": cmd_compare,
         "scaleout": cmd_scaleout,
         "distsim": cmd_distsim,

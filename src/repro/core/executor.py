@@ -321,3 +321,48 @@ class Executor:
             bytes=launch.bytes,
             types={t.name: int(type_counts[int(t)]) for t in TaskType},
         )
+
+
+@dataclass(frozen=True)
+class BatchPlan:
+    """A scheduler's emitted batch sequence, detached from execution.
+
+    The picklable dispatch artifact of the multiprocess executor: batch
+    composition is deterministic and backend-independent (Collector
+    admission reads only the static resource columns, Prioritizer
+    ranking only ``cp``/``distance``), so a plan recorded against
+    :class:`EstimateBackend` replays bit-identically on the numeric
+    engine — in one process or many.
+    """
+
+    scheduler: str
+    device: str
+    batches: list[np.ndarray]
+    n_tasks: int
+
+
+def record_batch_plan(dag, model: GPUCostModel, scheduler: str = "trojan",
+                      solve: bool = False, **sched_kwargs) -> BatchPlan:
+    """Dry-run ``scheduler`` over ``dag`` and record its batch sequence.
+
+    Runs the full Prioritizer → Collector → Executor pipeline against
+    :class:`EstimateBackend` (no numerics touched) and returns the
+    emitted batches as int64 task-id arrays in launch order.  ``solve``
+    selects the solve-phase scheduler factory.
+    """
+    # lazy imports: the scheduler factories import this module
+    if solve:
+        from repro.core.solve_dag import make_solve_scheduler
+        sched = make_solve_scheduler(scheduler, dag, EstimateBackend(),
+                                     model, **sched_kwargs)
+    else:
+        from repro.core.baselines import make_scheduler
+        sched = make_scheduler(scheduler, dag, EstimateBackend(),
+                               model, **sched_kwargs)
+    result = sched.run()
+    batches = [np.asarray(b.task_ids, dtype=np.int64)
+               for b in result.batches]
+    return BatchPlan(
+        scheduler=scheduler, device=result.device, batches=batches,
+        n_tasks=int(sum(b.size for b in batches)),
+    )

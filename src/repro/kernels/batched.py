@@ -30,6 +30,7 @@ truncation.
 from __future__ import annotations
 
 import os
+from contextlib import contextmanager
 
 import numpy as np
 
@@ -61,6 +62,41 @@ def batch_solve_enabled() -> bool:
     """
     return os.environ.get("REPRO_BATCH_SOLVE", "0").strip().lower() \
         not in _FALSY
+
+
+#: Environment knobs every mainstream BLAS reads at import time.
+BLAS_THREAD_VARS = (
+    "OMP_NUM_THREADS",
+    "OPENBLAS_NUM_THREADS",
+    "MKL_NUM_THREADS",
+    "VECLIB_MAXIMUM_THREADS",
+    "NUMEXPR_NUM_THREADS",
+)
+
+
+@contextmanager
+def pinned_blas_env(threads: int = 1):
+    """Pin the BLAS thread knobs in ``os.environ`` for the duration.
+
+    This changes nothing about the *current* process (its BLAS read the
+    environment when numpy was imported); it exists so processes spawned
+    inside the block import numpy with a fixed thread count.  The
+    multiprocess executor pins workers this way when asked: N workers
+    each fanning a threaded GEMM over the same cores oversubscribes the
+    host and wrecks the scaling the batch schedule buys.  Previous
+    values are restored on exit, including unset ones.
+    """
+    saved = {var: os.environ.get(var) for var in BLAS_THREAD_VARS}
+    for var in BLAS_THREAD_VARS:
+        os.environ[var] = str(int(threads))
+    try:
+        yield
+    finally:
+        for var, val in saved.items():
+            if val is None:
+                os.environ.pop(var, None)
+            else:
+                os.environ[var] = val
 
 
 def _stack_nnz(stack: np.ndarray) -> np.ndarray:

@@ -1,0 +1,41 @@
+"""Real multiprocess DAG execution over shared-memory tile pools.
+
+The single-process engines execute the Trojan-Horse batch schedule as
+stacked kernels in one address space; this package executes the *same*
+schedule on N spawned worker processes over a
+:class:`~repro.parallel.shmem.SharedTileArena` — the pooled tile
+storage re-homed onto ``multiprocessing.shared_memory`` segments — with
+a coordinator (:class:`~repro.parallel.executor.ParallelExecutor`)
+driving the batch frontier, slicing each batch by owner-compute rank,
+and barriering between dependent batches.  Every dispatched plan is
+conflict-scanned (``verify.effects``) and, by default, certified by
+``PlanVerifier`` first; results are bit-identical to the single-process
+engine for any worker count.
+"""
+
+from repro.parallel.executor import (
+    ParallelExecutor,
+    ParallelFactorization,
+    WorkerCrashError,
+    message_accounting,
+)
+from repro.parallel.shmem import (
+    SharedArenaSpec,
+    SharedRhsPool,
+    SharedRhsSpec,
+    SharedTileArena,
+)
+from repro.parallel.worker import TaskColumns, worker_main
+
+__all__ = [
+    "ParallelExecutor",
+    "ParallelFactorization",
+    "SharedArenaSpec",
+    "SharedRhsPool",
+    "SharedRhsSpec",
+    "SharedTileArena",
+    "TaskColumns",
+    "WorkerCrashError",
+    "message_accounting",
+    "worker_main",
+]

@@ -1,0 +1,146 @@
+"""The worker-process loop of the multiprocess executor.
+
+Workers are deliberately dumb: they attach shared pools described by a
+phase message, then execute whatever task-id slices the coordinator
+sends, via the *same* module-level batch functions the single-process
+engines call (:func:`repro.solvers.engine.run_batch_on_arena`,
+:func:`repro.solvers.sptrsv.run_solve_batch`).  All scheduling,
+admission, conflict analysis and certification happen on the
+coordinator; all factor/RHS data stays in shared memory.  The only
+queue traffic is task ids in and per-task ``(flops, bytes)`` stats out.
+
+Protocol (one task queue per worker, one shared result queue):
+
+==========================================  ================================
+coordinator → worker                        worker → coordinator
+==========================================  ================================
+``("phase", pid, payload)``                 ``("ready", wid, pid)``
+``("batch", pid, bidx, tids, atomic)``      ``("done", wid, pid, bidx,
+                                            flops, bytes)``
+``("exit",)``                               ``("bye", wid)``
+any failure                                 ``("error", wid, pid, bidx,
+                                            traceback-text)``
+==========================================  ================================
+
+A phase payload is a dict: ``kind`` (``"factor"``/``"solve"``),
+``arena`` (:class:`~repro.parallel.shmem.SharedArenaSpec`), ``columns``
+(:class:`TaskColumns`), kernel knobs, and for solve phases ``rhs``
+(:class:`~repro.parallel.shmem.SharedRhsSpec`) plus the triangle flags.
+Factor-arena attachments are cached by segment names, so the L- and
+U-solve phases following a factorisation reattach nothing.
+"""
+
+from __future__ import annotations
+
+import os
+import traceback
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.parallel.shmem import SharedRhsPool, SharedTileArena
+from repro.solvers.engine import run_batch_on_arena
+from repro.solvers.sptrsv import run_solve_batch
+
+
+@dataclass(frozen=True)
+class TaskColumns:
+    """The task-coordinate columns a batch launch reads — a picklable
+    slice of :class:`~repro.core.dag.TaskArrays` (no DAG, no estimates,
+    no successor structure crosses the queue)."""
+
+    type_code: np.ndarray
+    k: np.ndarray
+    i: np.ndarray
+    j: np.ndarray
+
+    @classmethod
+    def from_arrays(cls, arrays) -> "TaskColumns":
+        return cls(type_code=arrays.type_code, k=arrays.k,
+                   i=arrays.i, j=arrays.j)
+
+
+def _run_slice(payload: dict, tids: np.ndarray, atomic: np.ndarray
+               ) -> tuple[np.ndarray, np.ndarray]:
+    """Execute one batch slice against the phase's attached storage."""
+    cols = payload["columns"]
+    if payload["kind"] == "factor":
+        return run_batch_on_arena(
+            payload["_arena"], tids, atomic, cols,
+            sparse_tiles=payload["sparse_tiles"],
+            batch_kernels=payload["batch_kernels"],
+        )
+    return run_solve_batch(
+        payload["_arena"], payload["_rhs"], tids, atomic, cols,
+        lower=payload["lower"], unit_diagonal=payload["unit_diagonal"],
+        sparse_tiles=payload["sparse_tiles"],
+        batch_kernels=payload["batch_kernels"],
+    )
+
+
+def worker_main(wid: int, task_q, result_q, log_path=None) -> None:
+    """Entry point of one worker process (module-level: spawn-safe)."""
+    log = open(log_path, "a", buffering=1) if log_path else None
+
+    def say(msg: str) -> None:
+        if log is not None:
+            log.write(f"[worker {wid} pid={os.getpid()}] {msg}\n")
+
+    arenas: dict[tuple[str, ...], SharedTileArena] = {}
+    rhs: SharedRhsPool | None = None
+    rhs_names: tuple[str, ...] | None = None
+    payload: dict | None = None
+    phase_id = -1
+    cur_batch = -1
+    say("online")
+    try:
+        while True:
+            msg = task_q.get()
+            cmd = msg[0]
+            if cmd == "exit":
+                say("exit")
+                result_q.put(("bye", wid))
+                return
+            try:
+                if cmd == "phase":
+                    _, phase_id, payload = msg
+                    spec = payload["arena"]
+                    arena = arenas.get(spec.names)
+                    if arena is None:
+                        arena = SharedTileArena.attach(spec)
+                        arenas[spec.names] = arena
+                    payload["_arena"] = arena
+                    rspec = payload.get("rhs")
+                    if rspec is not None:
+                        if rhs is not None and rhs_names != rspec.names:
+                            rhs.close()
+                            rhs = None
+                        if rhs is None:
+                            rhs = SharedRhsPool.attach(rspec)
+                            rhs_names = rspec.names
+                        payload["_rhs"] = rhs
+                    say(f"phase {phase_id} kind={payload['kind']} "
+                        f"segments={len(spec.names)}")
+                    result_q.put(("ready", wid, phase_id))
+                elif cmd == "batch":
+                    _, pid, cur_batch, tids, atomic = msg
+                    if payload is None or pid != phase_id:
+                        raise RuntimeError(
+                            f"batch {cur_batch} for phase {pid} arrived "
+                            f"before its phase message (at {phase_id})")
+                    flops, nbytes = _run_slice(payload, tids, atomic)
+                    result_q.put(("done", wid, pid, cur_batch,
+                                  flops, nbytes))
+                else:
+                    raise RuntimeError(f"unknown command {cmd!r}")
+            except Exception:
+                detail = traceback.format_exc()
+                say(detail)
+                result_q.put(("error", wid, phase_id, cur_batch, detail))
+    finally:
+        for arena in arenas.values():
+            arena.close()
+        if rhs is not None:
+            rhs.close()
+        if log is not None:
+            log.close()

@@ -111,12 +111,15 @@ class BlockSolverBase:
         return engine.dag, backend
 
     # ------------------------------------------------------------------
-    def factorize(self) -> FactorizationResult:
-        """Run all three phases (Figure 1) and return the result.
+    def prepare_engine(self, arena_factory=None
+                       ) -> tuple[np.ndarray, CSRMatrix, NumericEngine]:
+        """Run the reorder + symbolic front-end and build the engine.
 
-        Reordering and symbolic run on the "CPU" (measured wall-clock);
-        the numeric phase executes real tile arithmetic while the
-        scheduler records the simulated GPU timeline.
+        Returns ``(perm, permuted, engine)`` and records them on the
+        solver.  :meth:`factorize` calls this and then schedules the
+        numeric phase in-process; ``repro.parallel`` calls it with
+        ``arena_factory=SharedTileArena`` so the same front-end feeds a
+        multiprocess numeric phase on shared tiles.
         """
         t0 = time.perf_counter()
         perm = compute_ordering(self.a, self.ordering)
@@ -125,9 +128,22 @@ class BlockSolverBase:
         part, fill = self._build_partition(permuted)
         engine = NumericEngine(permuted, part, sparse_tiles=self.sparse_tiles,
                                fill=fill, cache=self.analysis_cache,
-                               batch_kernels=self.batch_kernels)
+                               batch_kernels=self.batch_kernels,
+                               arena_factory=arena_factory)
         self._engine = engine
         self._perm = perm
+        self._front_seconds = {"reorder": t1 - t0,
+                               "symbolic": time.perf_counter() - t1}
+        return perm, permuted, engine
+
+    def factorize(self) -> FactorizationResult:
+        """Run all three phases (Figure 1) and return the result.
+
+        Reordering and symbolic run on the "CPU" (measured wall-clock);
+        the numeric phase executes real tile arithmetic while the
+        scheduler records the simulated GPU timeline.
+        """
+        perm, _, engine = self.prepare_engine()
         t2 = time.perf_counter()
         backend = NumericBackend(engine)
         model = GPUCostModel(self.gpu)
@@ -144,8 +160,8 @@ class BlockSolverBase:
             stats=backend.stats,
             fill_nnz=engine.fill.nnz_lu,
             phase_seconds={
-                "reorder": t1 - t0,
-                "symbolic": t2 - t1,
+                "reorder": self._front_seconds["reorder"],
+                "symbolic": self._front_seconds["symbolic"],
                 "numeric": t3 - t2,
             },
         )

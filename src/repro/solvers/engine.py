@@ -44,6 +44,152 @@ from repro.sparse.blocking import Partition, split_tiles
 from repro.symbolic import block_fill, symbolic_fill
 
 
+# verify: effects(arena)
+def run_batch_on_arena(arena, tids: np.ndarray, atomic: np.ndarray, arrays,
+                       *, sparse_tiles: bool = False,
+                       batch_kernels: bool = True
+                       ) -> tuple[np.ndarray, np.ndarray]:
+    """Execute one launch's factorisation tasks on a tile arena.
+
+    The free-function form of :meth:`NumericEngine.run_batch_tasks`: it
+    needs only the arena (any :class:`~repro.solvers.tilepool.TileArena`,
+    including a shared-memory one attached in a worker process), the
+    batch's task ids, their atomic flags, and the task coordinate
+    columns (``type_code``/``k``/``i``/``j``) — no engine, DAG or
+    backend.  ``repro.parallel`` workers call this directly so the
+    multiprocess path executes the *identical* kernel-group code the
+    single-process engine runs.
+
+    Partitions the batch by (task type, tile shape class): TSTRF and
+    GEESM groups become one stacked multi-RHS triangular solve (each
+    slice against its own diagonal tile); conflict-free SSSSM groups
+    become one stacked ``np.matmul``; atomic (same-target) SSSSMs get
+    their products from a stacked matmul too, applied serially in batch
+    order because their byte accounting depends on the intermediate
+    target state; only GETRF tasks run through the per-task kernel.
+    Returns per-task ``(flops, bytes)`` int64 arrays aligned with
+    ``tids``.
+
+    Safe because co-batched tasks are mutually independent (no DAG
+    edges within a ready set), so they touch pairwise-disjoint tiles
+    except for same-target SSSSMs — whose ordered serial apply replays
+    exactly the per-task execution.  Stack slices run the identical 2-D
+    kernel cores, so factors and stats are bit-identical to the
+    per-task path — and, for the same reason, identical for *any*
+    partition of a batch across processes that keeps same-target
+    SSSSMs together and in batch order.
+    """
+    tids = np.asarray(tids, dtype=np.int64)
+    n = tids.size
+    flops = np.zeros(n, dtype=np.int64)
+    nbytes = np.zeros(n, dtype=np.int64)
+    sp = sparse_tiles
+    code = arrays.type_code[tids]
+    kk = arrays.k[tids]
+    ii = arrays.i[tids]
+    jj = arrays.j[tids]
+    if not batch_kernels or n == 1:
+        straggler = np.ones(n, dtype=bool)
+    else:
+        straggler = code == int(TaskType.GETRF)
+    for idx in np.flatnonzero(straggler):
+        c = int(code[idx])
+        k = int(kk[idx])
+        if c == int(TaskType.GETRF):
+            s = getrf_kernel(arena.view(k, k), sparse=sp)
+        elif c == int(TaskType.TSTRF):
+            s = tstrf_kernel(arena.view(int(ii[idx]), k),
+                             arena.view(k, k), sparse=sp)
+        elif c == int(TaskType.GEESM):
+            s = geesm_kernel(arena.view(k, int(jj[idx])),
+                             arena.view(k, k), sparse=sp)
+        else:
+            i, j = int(ii[idx]), int(jj[idx])
+            s = ssssm_kernel(arena.view(i, j), arena.view(i, k),
+                             arena.view(k, j), sparse=sp,
+                             atomic=bool(atomic[idx]))
+        flops[idx] = s.flops
+        nbytes[idx] = s.bytes
+    if straggler.all():
+        return flops, nbytes
+    pools = arena.pools
+
+    def _solve_groups(sel, row_idx, col_idx, solver):
+        """Group panel tiles by shape class; one stacked triangular
+        solve per group, each slice against its own diagonal tile."""
+        cls, slots = arena.locate(row_idx[sel], col_idx[sel])
+        dcls, dslots = arena.locate(kk[sel], kk[sel])
+        for c in np.unique(cls):
+            mask = cls == c
+            mem = sel[mask]
+            pool = pools[int(c)]
+            gslots = slots[mask]
+            stack = pool[gslots]
+            dstack = pools[int(dcls[mask][0])][dslots[mask]]
+            f, b = solver(stack, dstack, sp)
+            pool[gslots] = stack
+            flops[mem] = f
+            nbytes[mem] = b
+
+    sel = np.flatnonzero(code == int(TaskType.TSTRF))
+    if sel.size:
+        _solve_groups(sel, ii, kk, batched_tstrf)
+    sel = np.flatnonzero(code == int(TaskType.GEESM))
+    if sel.size:
+        _solve_groups(sel, kk, jj, batched_geesm)
+    sel = np.flatnonzero(code == int(TaskType.SSSSM))
+    if sel.size:
+        tcls, tslots = arena.locate(ii[sel], jj[sel])
+        lcls, lslots = arena.locate(ii[sel], kk[sel])
+        ucls, uslots = arena.locate(kk[sel], jj[sel])
+        # (target class, L class) pins all three tile shapes
+        key = tcls * len(pools) + lcls
+        atom = atomic[sel]
+        for kv in np.unique(key):
+            mask = (key == kv) & ~atom
+            if not mask.any():
+                continue
+            mem = sel[mask]
+            tpool = pools[int(tcls[mask][0])]
+            lpool = pools[int(lcls[mask][0])]
+            upool = pools[int(ucls[mask][0])]
+            gslots = tslots[mask]
+            tstack = tpool[gslots]
+            f, b = batched_ssssm(tstack, lpool[lslots[mask]],
+                                 upool[uslots[mask]], sp)
+            tpool[gslots] = tstack
+            flops[mem] = f
+            nbytes[mem] = b
+        apos = np.flatnonzero(atom)
+        if apos.size:
+            # atomic (same-target) updates: products in stacked
+            # matmuls per group, then a serial ordered apply that
+            # replays the per-task batch order — bit-identical,
+            # including the intermediate-state byte accounting
+            prods: list = [None] * apos.size
+            base = np.zeros(apos.size, dtype=np.int64)
+            akey = key[apos]
+            for kv in np.unique(akey):
+                mask = akey == kv
+                gpos = apos[mask]
+                lpool = pools[int(lcls[gpos[0]])]
+                upool = pools[int(ucls[gpos[0]])]
+                p, f, b0 = batched_ssssm_products(
+                    lpool[lslots[gpos]], upool[uslots[gpos]], sp)
+                flops[sel[gpos]] = f
+                base[mask] = b0
+                for row, pos in enumerate(np.flatnonzero(mask)):
+                    prods[pos] = p[row]
+            tviews = [pools[c][s] for c, s
+                      in zip(tcls[apos].tolist(), tslots[apos].tolist())]
+            after = np.empty(apos.size, dtype=np.int64)
+            for pos, view in enumerate(tviews):
+                view -= prods[pos]
+                after[pos] = np.count_nonzero(view)
+            nbytes[sel[apos]] = 8 * (base + (2 * after if sp else after))
+    return flops, nbytes
+
+
 class NumericEngine:
     """Tile storage plus numeric task execution for one factorisation.
 
@@ -71,11 +217,17 @@ class NumericEngine:
         ``REPRO_BATCH_KERNELS`` environment knob (on unless ``0``).
         The per-task path stays available as the differential-testing
         oracle; both paths produce bit-identical factors and stats.
+    arena_factory:
+        Optional callable ``(part, bfill) -> TileArena`` used to build
+        the tile storage; ``repro.parallel`` passes
+        :class:`~repro.parallel.shmem.SharedTileArena` so tiles land in
+        shared memory visible to worker processes.
     """
 
     def __init__(self, a: CSRMatrix, part: Partition,
                  sparse_tiles: bool = False, owner_of=None, fill=None,
-                 cache=None, batch_kernels: bool | None = None):
+                 cache=None, batch_kernels: bool | None = None,
+                 arena_factory=None):
         if a.nrows != a.ncols:
             raise ValueError("LU factorisation requires a square matrix")
         if part.n != a.nrows:
@@ -111,7 +263,8 @@ class NumericEngine:
             batch_kernels_enabled() if batch_kernels is None
             else bool(batch_kernels)
         )
-        self.arena = TileArena(part, self.bfill)
+        make_arena = TileArena if arena_factory is None else arena_factory
+        self.arena = make_arena(part, self.bfill)
         self.tiles = TileViews(self.arena)
         self.arena.stamp(a)
 
@@ -152,138 +305,19 @@ class NumericEngine:
                             self.tiles[(task.k, task.j)],
                             sparse=sp, atomic=atomic)
 
-    # verify: effects(arena)
     def run_batch_tasks(self, tids: np.ndarray, atomic: np.ndarray,
                         arrays) -> tuple[np.ndarray, np.ndarray]:
         """Execute one launch's tasks with batched kernel groups.
 
-        Partitions the batch by (task type, tile shape class): TSTRF and
-        GEESM groups become one stacked multi-RHS triangular solve (each
-        slice against its own diagonal tile); conflict-free SSSSM groups
-        become one stacked ``np.matmul``; atomic (same-target) SSSSMs
-        get their products from a stacked matmul too, applied serially
-        in batch order because their byte accounting depends on the
-        intermediate target state; only GETRF tasks run through the
-        per-task kernel.  Returns per-task ``(flops, bytes)`` int64
-        arrays aligned with ``tids``.
-
-        Safe because co-batched tasks are mutually independent (no DAG
-        edges within a ready set), so they touch pairwise-disjoint tiles
-        except for same-target SSSSMs — whose ordered serial apply
-        replays exactly the per-task execution.  Stack slices run the
-        identical 2-D kernel cores, so factors and stats are
-        bit-identical to the per-task path.
+        Delegates to :func:`run_batch_on_arena` — the module-level form
+        shared with the multiprocess workers — so both paths are one
+        code path by construction.
         """
-        tids = np.asarray(tids, dtype=np.int64)
-        n = tids.size
-        flops = np.zeros(n, dtype=np.int64)
-        nbytes = np.zeros(n, dtype=np.int64)
-        sp = self.sparse_tiles
-        code = arrays.type_code[tids]
-        kk = arrays.k[tids]
-        ii = arrays.i[tids]
-        jj = arrays.j[tids]
-        if not self.batch_kernels or n == 1:
-            straggler = np.ones(n, dtype=bool)
-        else:
-            straggler = code == int(TaskType.GETRF)
-        for idx in np.flatnonzero(straggler):
-            c = int(code[idx])
-            k = int(kk[idx])
-            if c == int(TaskType.GETRF):
-                s = getrf_kernel(self.tiles[(k, k)], sparse=sp)
-            elif c == int(TaskType.TSTRF):
-                s = tstrf_kernel(self.tiles[(int(ii[idx]), k)],
-                                 self.tiles[(k, k)], sparse=sp)
-            elif c == int(TaskType.GEESM):
-                s = geesm_kernel(self.tiles[(k, int(jj[idx]))],
-                                 self.tiles[(k, k)], sparse=sp)
-            else:
-                i, j = int(ii[idx]), int(jj[idx])
-                s = ssssm_kernel(self.tiles[(i, j)], self.tiles[(i, k)],
-                                 self.tiles[(k, j)], sparse=sp,
-                                 atomic=bool(atomic[idx]))
-            flops[idx] = s.flops
-            nbytes[idx] = s.bytes
-        if straggler.all():
-            return flops, nbytes
-        arena = self.arena
-        pools = arena.pools
-
-        def _solve_groups(sel, row_idx, col_idx, solver):
-            """Group panel tiles by shape class; one stacked triangular
-            solve per group, each slice against its own diagonal tile."""
-            cls, slots = arena.locate(row_idx[sel], col_idx[sel])
-            dcls, dslots = arena.locate(kk[sel], kk[sel])
-            for c in np.unique(cls):
-                mask = cls == c
-                mem = sel[mask]
-                pool = pools[int(c)]
-                gslots = slots[mask]
-                stack = pool[gslots]
-                dstack = pools[int(dcls[mask][0])][dslots[mask]]
-                f, b = solver(stack, dstack, sp)
-                pool[gslots] = stack
-                flops[mem] = f
-                nbytes[mem] = b
-
-        sel = np.flatnonzero(code == int(TaskType.TSTRF))
-        if sel.size:
-            _solve_groups(sel, ii, kk, batched_tstrf)
-        sel = np.flatnonzero(code == int(TaskType.GEESM))
-        if sel.size:
-            _solve_groups(sel, kk, jj, batched_geesm)
-        sel = np.flatnonzero(code == int(TaskType.SSSSM))
-        if sel.size:
-            tcls, tslots = arena.locate(ii[sel], jj[sel])
-            lcls, lslots = arena.locate(ii[sel], kk[sel])
-            ucls, uslots = arena.locate(kk[sel], jj[sel])
-            # (target class, L class) pins all three tile shapes
-            key = tcls * len(pools) + lcls
-            atom = atomic[sel]
-            for kv in np.unique(key):
-                mask = (key == kv) & ~atom
-                if not mask.any():
-                    continue
-                mem = sel[mask]
-                tpool = pools[int(tcls[mask][0])]
-                lpool = pools[int(lcls[mask][0])]
-                upool = pools[int(ucls[mask][0])]
-                gslots = tslots[mask]
-                tstack = tpool[gslots]
-                f, b = batched_ssssm(tstack, lpool[lslots[mask]],
-                                     upool[uslots[mask]], sp)
-                tpool[gslots] = tstack
-                flops[mem] = f
-                nbytes[mem] = b
-            apos = np.flatnonzero(atom)
-            if apos.size:
-                # atomic (same-target) updates: products in stacked
-                # matmuls per group, then a serial ordered apply that
-                # replays the per-task batch order — bit-identical,
-                # including the intermediate-state byte accounting
-                prods: list = [None] * apos.size
-                base = np.zeros(apos.size, dtype=np.int64)
-                akey = key[apos]
-                for kv in np.unique(akey):
-                    mask = akey == kv
-                    gpos = apos[mask]
-                    lpool = pools[int(lcls[gpos[0]])]
-                    upool = pools[int(ucls[gpos[0]])]
-                    p, f, b0 = batched_ssssm_products(
-                        lpool[lslots[gpos]], upool[uslots[gpos]], sp)
-                    flops[sel[gpos]] = f
-                    base[mask] = b0
-                    for row, pos in enumerate(np.flatnonzero(mask)):
-                        prods[pos] = p[row]
-                tviews = [pools[c][s] for c, s
-                          in zip(tcls[apos].tolist(), tslots[apos].tolist())]
-                after = np.empty(apos.size, dtype=np.int64)
-                for pos, view in enumerate(tviews):
-                    view -= prods[pos]
-                    after[pos] = np.count_nonzero(view)
-                nbytes[sel[apos]] = 8 * (base + (2 * after if sp else after))
-        return flops, nbytes
+        return run_batch_on_arena(
+            self.arena, tids, atomic, arrays,
+            sparse_tiles=self.sparse_tiles,
+            batch_kernels=self.batch_kernels,
+        )
 
     # ------------------------------------------------------------------
     # factor extraction

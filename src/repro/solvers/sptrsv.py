@@ -58,10 +58,17 @@ class RhsPool:
     bit-identity contract of :mod:`repro.kernels.batched` relies on.
     """
 
-    def __init__(self, part: Partition, b2: np.ndarray):
-        n, nrhs = b2.shape
-        if n != part.n:
-            raise ValueError("right-hand side does not cover the partition")
+    def __init__(self, part: Partition, b2: np.ndarray | None = None,
+                 *, nrhs: int | None = None):
+        if b2 is None:
+            if nrhs is None:
+                raise ValueError("RhsPool needs a right-hand side or nrhs")
+            nrhs = int(nrhs)
+        else:
+            n, nrhs = b2.shape
+            if n != part.n:
+                raise ValueError(
+                    "right-hand side does not cover the partition")
         self.part = part
         self.nrhs = nrhs
         sizes = part.sizes()
@@ -73,12 +80,19 @@ class RhsPool:
         for c, m in enumerate(usize.tolist()):
             members = np.flatnonzero(class_of == c)
             self._slot[members] = np.arange(members.size)
-            pool = np.empty((members.size, nrhs, int(m), 1))
-            for s, blk in enumerate(members.tolist()):
-                lo, hi = part.block_range(blk)
-                pool[s] = b2[lo:hi, :].T[:, :, None]
-            self.pools.append(pool)
+            self.pools.append(np.zeros((members.size, nrhs, int(m), 1)))
             self._members.append(members)
+        if b2 is not None:
+            self.stamp(b2)
+
+    def stamp(self, b2: np.ndarray) -> None:
+        """Fold an ``(n, nrhs)`` right-hand side into the pools."""
+        if b2.shape != (self.part.n, self.nrhs):
+            raise ValueError("right-hand side does not match the pool")
+        for pool, members in zip(self.pools, self._members):
+            for s, blk in enumerate(members.tolist()):
+                lo, hi = self.part.block_range(blk)
+                pool[s] = b2[lo:hi, :].T[:, :, None]
 
     def view(self, blk: int) -> np.ndarray:
         """Writable ``(nrhs, m, 1)`` view of one RHS block."""
@@ -97,6 +111,93 @@ class RhsPool:
                 lo, hi = self.part.block_range(blk)
                 out[lo:hi, :] = pool[s, :, :, 0].T
         return out
+
+
+def run_solve_batch(arena, rhs, tids: np.ndarray, atomic: np.ndarray,
+                    arrays, *, lower: bool, unit_diagonal: bool,
+                    sparse_tiles: bool = False, batch_kernels: bool = True
+                    ) -> tuple[np.ndarray, np.ndarray]:
+    """Execute one launch's solve tasks on a factor arena + RHS pool.
+
+    The free-function form of :meth:`SpTRSVEngine.run_batch_tasks`,
+    shared with the ``repro.parallel`` workers: it needs only the factor
+    arena (possibly an attached shared-memory one), the RHS pool, the
+    batch's task ids and the task coordinate columns — no context or
+    scheduler.  Returns per-task ``(flops, bytes)`` int64 arrays aligned
+    with ``tids``.
+
+    DIAG tasks group by RHS size class (which pins the diagonal-tile
+    shape too); UPDATE tasks group by (dest class, src class), which
+    pins the factor-tile shape.  Co-batched tasks write distinct RHS
+    blocks — the canonical chains serialise same-destination updates —
+    so gather/compute/scatter per group is race-free, and any partition
+    of a batch across processes produces the same bits.
+    """
+    tids = np.asarray(tids, dtype=np.int64)
+    n = tids.size
+    flops = np.zeros(n, dtype=np.int64)
+    nbytes = np.zeros(n, dtype=np.int64)
+    sp = sparse_tiles
+    code = arrays.type_code[tids]
+    kk = arrays.k[tids]
+    ii = arrays.i[tids]
+    if not batch_kernels or n == 1:
+        for idx in range(n):
+            i = int(ii[idx])
+            k = int(kk[idx])
+            if int(code[idx]) == int(TaskType.SPTRSV_DIAG):
+                s = sptrsv_diag_kernel(
+                    rhs.view(i), arena.view(i, i),
+                    lower=lower, unit_diagonal=unit_diagonal,
+                    sparse=sp)
+            else:
+                s = sptrsv_update_kernel(
+                    rhs.view(i), arena.view(i, k),
+                    rhs.view(k), sparse=sp)
+            flops[idx] = s.flops
+            nbytes[idx] = s.bytes
+        return flops, nbytes
+    pools = rhs.pools
+    sel = np.flatnonzero(code == int(TaskType.SPTRSV_DIAG))
+    if sel.size:
+        rcls, rslots = rhs.locate(ii[sel])
+        dcls, dslots = arena.locate(ii[sel], ii[sel])
+        for c in np.unique(rcls):
+            mask = rcls == c
+            mem = sel[mask]
+            pool = pools[int(c)]
+            gslots = rslots[mask]
+            bstack = pool[gslots]
+            dstack = arena.pools[int(dcls[mask][0])][dslots[mask]]
+            f, b = batched_sptrsv_diag(
+                bstack, dstack, lower=lower,
+                unit_diagonal=unit_diagonal, sparse=sp)
+            pool[gslots] = bstack
+            flops[mem] = f
+            nbytes[mem] = b
+    sel = np.flatnonzero(code == int(TaskType.SPTRSV_UPDATE))
+    if sel.size:
+        dcls, dslots = rhs.locate(ii[sel])
+        scls, sslots = rhs.locate(kk[sel])
+        tcls, tslots = arena.locate(ii[sel], kk[sel])
+        # (dest class, src class) pins both RHS shapes and therefore
+        # the factor-tile shape
+        key = dcls * len(pools) + scls
+        for kv in np.unique(key):
+            mask = key == kv
+            mem = sel[mask]
+            dpool = pools[int(dcls[mask][0])]
+            spool = pools[int(scls[mask][0])]
+            tpool = arena.pools[int(tcls[mask][0])]
+            gslots = dslots[mask]
+            dest = dpool[gslots]
+            f, b = batched_sptrsv_update(
+                dest, tpool[tslots[mask]], spool[sslots[mask]],
+                sparse=sp)
+            dpool[gslots] = dest
+            flops[mem] = f
+            nbytes[mem] = b
+    return flops, nbytes
 
 
 @dataclass
@@ -134,10 +235,15 @@ class SpTRSVContext:
         Take the diagonal as 1 instead of reading it.
     sparse_tiles:
         Sparse kernel accounting (matches the factorisation's flag).
+    arena_factory:
+        Optional callable ``(part, pattern) -> TileArena`` for the
+        factor-tile storage; ``repro.parallel`` passes
+        :class:`~repro.parallel.shmem.SharedTileArena`.
     """
 
     def __init__(self, tri: CSRMatrix, part: Partition, lower: bool = True,
-                 unit_diagonal: bool = False, sparse_tiles: bool = False):
+                 unit_diagonal: bool = False, sparse_tiles: bool = False,
+                 arena_factory=None):
         if tri.nrows != tri.ncols:
             raise ValueError("triangular solve requires a square matrix")
         if part.n != tri.nrows:
@@ -166,7 +272,8 @@ class SpTRSVContext:
             (int(i), int(j)): int(counts[i * nb + j])
             for i, j in zip(bi, bj)
         }
-        self.arena = TileArena(part, pat)
+        make_arena = TileArena if arena_factory is None else arena_factory
+        self.arena = make_arena(part, pat)
         self.arena.stamp(tri)
         self._dag_cache: dict[int, TaskDAG] = {}
 
@@ -279,78 +386,17 @@ class SpTRSVEngine:
                         arrays) -> tuple[int, int]:
         """Execute one launch with stacked kernel groups.
 
-        DIAG tasks group by RHS size class (which pins the diagonal-tile
-        shape too); UPDATE tasks group by (dest class, src class), which
-        pins the factor-tile shape.  Co-batched tasks write distinct RHS
-        blocks — the canonical chains serialise same-destination updates
-        — so gather/compute/scatter per group is race-free.  Returns the
-        launch's total ``(flops, bytes)``.
+        Delegates to :func:`run_solve_batch` — the module-level form
+        shared with the multiprocess workers.  Returns the launch's
+        total ``(flops, bytes)``.
         """
-        tids = np.asarray(tids, dtype=np.int64)
-        n = tids.size
-        flops = np.zeros(n, dtype=np.int64)
-        nbytes = np.zeros(n, dtype=np.int64)
         ctx = self.ctx
-        sp = ctx.sparse_tiles
-        code = arrays.type_code[tids]
-        kk = arrays.k[tids]
-        ii = arrays.i[tids]
-        if not self.batch_kernels or n == 1:
-            for idx in range(n):
-                i = int(ii[idx])
-                k = int(kk[idx])
-                if int(code[idx]) == int(TaskType.SPTRSV_DIAG):
-                    s = sptrsv_diag_kernel(
-                        self.rhs.view(i), ctx.arena.view(i, i),
-                        lower=ctx.lower, unit_diagonal=ctx.unit_diagonal,
-                        sparse=sp)
-                else:
-                    s = sptrsv_update_kernel(
-                        self.rhs.view(i), ctx.arena.view(i, k),
-                        self.rhs.view(k), sparse=sp)
-                flops[idx] = s.flops
-                nbytes[idx] = s.bytes
-            return int(flops.sum()), int(nbytes.sum())
-        pools = self.rhs.pools
-        sel = np.flatnonzero(code == int(TaskType.SPTRSV_DIAG))
-        if sel.size:
-            rcls, rslots = self.rhs.locate(ii[sel])
-            dcls, dslots = ctx.arena.locate(ii[sel], ii[sel])
-            for c in np.unique(rcls):
-                mask = rcls == c
-                mem = sel[mask]
-                pool = pools[int(c)]
-                gslots = rslots[mask]
-                bstack = pool[gslots]
-                dstack = ctx.arena.pools[int(dcls[mask][0])][dslots[mask]]
-                f, b = batched_sptrsv_diag(
-                    bstack, dstack, lower=ctx.lower,
-                    unit_diagonal=ctx.unit_diagonal, sparse=sp)
-                pool[gslots] = bstack
-                flops[mem] = f
-                nbytes[mem] = b
-        sel = np.flatnonzero(code == int(TaskType.SPTRSV_UPDATE))
-        if sel.size:
-            dcls, dslots = self.rhs.locate(ii[sel])
-            scls, sslots = self.rhs.locate(kk[sel])
-            tcls, tslots = ctx.arena.locate(ii[sel], kk[sel])
-            # (dest class, src class) pins both RHS shapes and therefore
-            # the factor-tile shape
-            key = dcls * len(pools) + scls
-            for kv in np.unique(key):
-                mask = key == kv
-                mem = sel[mask]
-                dpool = pools[int(dcls[mask][0])]
-                spool = pools[int(scls[mask][0])]
-                tpool = ctx.arena.pools[int(tcls[mask][0])]
-                gslots = dslots[mask]
-                dest = dpool[gslots]
-                f, b = batched_sptrsv_update(
-                    dest, tpool[tslots[mask]], spool[sslots[mask]],
-                    sparse=sp)
-                dpool[gslots] = dest
-                flops[mem] = f
-                nbytes[mem] = b
+        flops, nbytes = run_solve_batch(
+            ctx.arena, self.rhs, tids, atomic, arrays,
+            lower=ctx.lower, unit_diagonal=ctx.unit_diagonal,
+            sparse_tiles=ctx.sparse_tiles,
+            batch_kernels=self.batch_kernels,
+        )
         return int(flops.sum()), int(nbytes.sum())
 
 

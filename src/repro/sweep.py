@@ -29,6 +29,7 @@ Worker count comes from the ``REPRO_SWEEP_WORKERS`` environment knob
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
@@ -202,7 +203,7 @@ def _run_shard(shard, cache_capacity: int):
 
 
 def run_sweep(items, workers: int | None = None, cache_capacity: int = 32,
-              shard_key=None) -> SweepOutcome:
+              shard_key=None, start_method: str = "spawn") -> SweepOutcome:
     """Run every sweep cell, fanning out over a process pool.
 
     Parameters
@@ -218,6 +219,15 @@ def run_sweep(items, workers: int | None = None, cache_capacity: int = 32,
         :class:`~repro.core.analysis_cache.AnalysisCache`.
     shard_key:
         Affinity grouping override (see :func:`shard_items`).
+    start_method:
+        ``multiprocessing`` start method for the pool, ``"spawn"`` by
+        default.  The platform default (``fork`` on Linux) inherits the
+        parent's whole heap — BLAS thread pools, open shared-memory
+        maps, module state — which is both unsafe under threads and a
+        behavioural fork (pun intended) from macOS/Windows; explicit
+        spawn makes every worker a fresh import, identical everywhere.
+        ``tests/test_sweep.py`` pins that both methods produce identical
+        merged tables.
     """
     items = list(items)
     if workers is None:
@@ -232,7 +242,9 @@ def run_sweep(items, workers: int | None = None, cache_capacity: int = 32,
         shard_results = [_run_shard(shard, cache_capacity)
                          for shard in shards]
     else:
-        with ProcessPoolExecutor(max_workers=len(shards)) as pool:
+        mp_context = multiprocessing.get_context(start_method)
+        with ProcessPoolExecutor(max_workers=len(shards),
+                                 mp_context=mp_context) as pool:
             futures = [pool.submit(_run_shard, shard, cache_capacity)
                        for shard in shards]
             shard_results = [f.result() for f in futures]

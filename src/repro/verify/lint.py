@@ -73,6 +73,7 @@ HOT_NNZ_MODULES = (
     "kernels/flops.py",
     "cluster/engine.py",
     "cluster/eventarena.py",
+    "parallel/",
 )
 
 #: Constructors whose arguments must stay picklable (sweep recipes).

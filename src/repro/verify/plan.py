@@ -213,6 +213,63 @@ class PlanSpec:
         )
 
     @classmethod
+    def from_execution(cls, dag, grid: ProcessGrid, batches,
+                       faults: FaultSpec | None = None, gpu=None,
+                       mem_budget_bytes: float | None = None,
+                       msg_scale: float = 1.0) -> "PlanSpec":
+        """The plan a real batched execution dispatches.
+
+        Same owner-compute ranks as :meth:`from_dag`, but the per-rank
+        program order comes from the *actual* batch sequence: batches
+        run in emission order, and within a batch each rank executes
+        its owner-slice in batch order — exactly how
+        ``repro.parallel.ParallelExecutor`` drives its workers.  The
+        batch sequence must cover every DAG task exactly once.
+        """
+        base = cls.from_dag(dag, grid, faults=faults, gpu=gpu,
+                            mem_budget_bytes=mem_budget_bytes,
+                            msg_scale=msg_scale)
+        if dag.n_tasks:
+            flat = (np.concatenate([np.asarray(b, dtype=np.int64)
+                                    for b in batches])
+                    if len(batches) else np.empty(0, dtype=np.int64))
+            if (flat.size != dag.n_tasks
+                    or np.unique(flat).size != dag.n_tasks):
+                raise ValueError(
+                    "batch sequence does not cover the DAG exactly once")
+            owners = base.rank[flat]
+            order = [flat[owners == r] for r in range(grid.nprocs)]
+            return replace(base, order=order)
+        return base
+
+    def to_dict(self) -> dict:
+        """Serialise to the :meth:`from_dict` golden-plan JSON payload.
+
+        Fault specs are not serialised — golden plans derived from real
+        executions are fault-free.
+        """
+        if self.faults is not None:
+            raise ValueError("to_dict serialises fault-free plans only")
+        tasks = [
+            {"type": TaskType(int(c)).name, "i": int(i), "j": int(j),
+             "k": int(k), "nnz": int(z), "rank": int(r)}
+            for c, i, j, k, z, r in zip(
+                self.type_code.tolist(), self.i.tolist(), self.j.tolist(),
+                self.k.tolist(), self.nnz.tolist(), self.rank.tolist())
+        ]
+        payload = {
+            "tasks": tasks,
+            "edges": self.edges.tolist(),
+            "nb": int(self.nb),
+            "nprocs": int(self.nprocs),
+            "order": [np.asarray(o).tolist() for o in self.order],
+            "msg_scale": float(self.msg_scale),
+        }
+        if self.mem_budget_bytes is not None:
+            payload["mem_budget_bytes"] = float(self.mem_budget_bytes)
+        return payload
+
+    @classmethod
     def from_dict(cls, payload: dict) -> "PlanSpec":
         """Hand-written plan (the ``tests/golden/plans`` JSON format).
 

@@ -1,0 +1,95 @@
+"""Shared-memory hygiene of the multiprocess executor.
+
+The failure mode that matters: ``/dev/shm`` segments surviving a crashed
+run.  Segment names leak silently (the memory stays reserved until
+reboot), so CI runs a suite-level leak check *and* this file kills a
+worker outright and asserts the coordinator reaps every segment while
+raising a structured, actionable error.
+"""
+
+import os
+import signal
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.matrices.generators import poisson2d
+from repro.parallel import ParallelExecutor, WorkerCrashError
+
+SHM_DIR = Path("/dev/shm")
+
+
+def shm_segments() -> set:
+    """Names of the interpreter-created shared-memory segments."""
+    if not SHM_DIR.exists():
+        pytest.skip("no /dev/shm on this platform")
+    return {f.name for f in SHM_DIR.iterdir() if f.name.startswith("psm_")}
+
+
+@pytest.fixture()
+def problem():
+    a = poisson2d(12)
+    rng = np.random.default_rng(5)
+    return a, rng.standard_normal(a.nrows)
+
+
+class TestCleanShutdown:
+    def test_full_run_leaves_no_segments(self, problem):
+        a, b = problem
+        baseline = shm_segments()
+        with ParallelExecutor(a, workers=2, block_size=24) as ex:
+            ex.factorize()
+            ex.solve(b)
+            assert shm_segments() > baseline  # arenas really are in shm
+        assert shm_segments() == baseline
+
+    def test_close_is_idempotent(self, problem):
+        a, _ = problem
+        baseline = shm_segments()
+        ex = ParallelExecutor(a, workers=2, block_size=24)
+        ex.factorize()
+        ex.close()
+        ex.close()
+        assert shm_segments() == baseline
+
+
+class TestWorkerKill:
+    def test_sigkill_reaps_arena_and_raises_structured(self, problem):
+        a, _ = problem
+        baseline = shm_segments()
+        ex = ParallelExecutor(a, workers=2, block_size=24)
+        try:
+            ex.start()
+            victim = ex.worker_pids()[0]
+            os.kill(victim, signal.SIGKILL)
+            with pytest.raises(WorkerCrashError) as exc_info:
+                ex.factorize()
+            err = exc_info.value
+            assert err.kind == "died"
+            assert err.worker == 0
+            assert err.exitcode == -signal.SIGKILL
+            # the reap already unlinked the factor arena
+            assert shm_segments() == baseline
+            assert ex.worker_pids() == []
+        finally:
+            ex.close()
+        assert shm_segments() == baseline
+
+    def test_sigkill_mid_solve_reaps_everything(self, problem):
+        a, b = problem
+        baseline = shm_segments()
+        ex = ParallelExecutor(a, workers=2, block_size=24)
+        try:
+            ex.factorize()
+            # factor arena + pool live; kill between phases so the solve
+            # dispatch (phase message or batch await) hits the corpse
+            os.kill(ex.worker_pids()[1], signal.SIGKILL)
+            with pytest.raises(WorkerCrashError) as exc_info:
+                ex.solve(b)
+            assert exc_info.value.kind == "died"
+            assert exc_info.value.exitcode == -signal.SIGKILL
+            assert shm_segments() == baseline
+        finally:
+            ex.close()
+        assert shm_segments() == baseline

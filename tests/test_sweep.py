@@ -75,6 +75,31 @@ class TestDifferential:
         assert direct == sequential.rows
 
 
+class TestStartMethod:
+    """run_sweep pins an explicit spawn context; fork must agree."""
+
+    def test_default_is_spawn(self):
+        import inspect
+
+        sig = inspect.signature(run_sweep)
+        assert sig.parameters["start_method"].default == "spawn"
+
+    def test_fork_and_spawn_identical_tables(self, items, sequential):
+        import multiprocessing
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("fork start method unavailable here")
+        forked = run_sweep(items, workers=2, start_method="fork")
+        spawned = run_sweep(items, workers=2, start_method="spawn")
+        assert forked.rows == spawned.rows == sequential.rows
+        assert (fig10_table(forked.rows, COUNT)
+                == fig10_table(spawned.rows, COUNT))
+
+    def test_unknown_start_method_rejected(self, items):
+        with pytest.raises(ValueError):
+            run_sweep(items, workers=2, start_method="teleport")
+
+
 class TestPickleRoundTrip:
     """Everything crossing the worker pipe must survive pickle unchanged."""
 

@@ -368,3 +368,54 @@ class TestPlanSpecParsing:
         with pytest.raises(ValueError):
             plan_of([{"type": "GETRF", "i": 0, "j": 0, "k": 0,
                       "rank": 0}], [], order=[[0]])
+
+
+# ---------------------------------------------------------------------
+# golden plan from a *real* multiprocess execution
+# ---------------------------------------------------------------------
+class TestExecutionGolden:
+    """The plan the ParallelExecutor actually dispatched, round-tripped
+    through the golden JSON format, must still certify clean — tying the
+    static format to the real engine rather than hand-written fixtures."""
+
+    @pytest.fixture(scope="class")
+    def executed(self):
+        from repro.parallel import ParallelExecutor
+
+        a = poisson2d(12)
+        with ParallelExecutor(a, workers=4, block_size=24) as ex:
+            res = ex.factorize()
+        return res
+
+    def test_dispatched_plan_certifies_clean(self, executed):
+        report = verify_plan(executed.plan, subject="executed")
+        assert report.ok, report.describe()
+
+    def test_round_trip_certifies_clean(self, executed):
+        payload = json.loads(json.dumps(executed.plan.to_dict()))
+        back = PlanSpec.from_dict(payload)
+        assert verify_plan(back, subject="round-trip").ok
+        assert back.nprocs == executed.plan.nprocs
+        np.testing.assert_array_equal(back.type_code,
+                                      executed.plan.type_code)
+        np.testing.assert_array_equal(back.rank, executed.plan.rank)
+        for mine, theirs in zip(back.order, executed.plan.order):
+            np.testing.assert_array_equal(mine, theirs)
+
+    def test_execution_order_covers_every_task_once(self, executed):
+        # the execution order is the scheduler's, not from_dag's
+        # level-schedule linearisation; it must still be a permutation
+        # of the DAG (and certify — asserted above) on the same ranks
+        canonical = PlanSpec.from_dag(executed.dag, executed.grid)
+        assert verify_plan(canonical).ok
+        np.testing.assert_array_equal(canonical.rank, executed.plan.rank)
+        flat = np.concatenate(executed.plan.order)
+        assert np.array_equal(np.sort(flat),
+                              np.arange(executed.dag.n_tasks))
+
+    def test_from_execution_rejects_partial_cover(self, executed):
+        from repro.verify.plan import PlanSpec as PS
+
+        batches = [b for b in executed.batch_plan.batches[:-1]]
+        with pytest.raises(ValueError, match="exactly once"):
+            PS.from_execution(executed.dag, executed.grid, batches)
